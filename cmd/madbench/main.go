@@ -1,0 +1,69 @@
+// Command madbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	madbench -list
+//	madbench fig6 fig7            # run specific experiments
+//	madbench -all                 # run everything
+//	madbench -quick -csv fig6     # trimmed sweep, CSV output
+//
+// Experiment ids follow DESIGN.md: t1, fig6, fig7, t2, t3, fig5, fig8,
+// headline, a1..a5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"madgo/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "trimmed sweeps (fast)")
+		csv   = flag.Bool("csv", false, "CSV output instead of tables")
+		plot  = flag.Bool("plot", false, "ASCII charts instead of tables")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: madbench [-list] [-all] [-quick] [-csv] [-plot] [experiment ids...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-9s %s\n          %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+	ids := flag.Args()
+	if *all {
+		ids = bench.IDs()
+	}
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick}
+	for _, id := range ids {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "madbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		r := e.Run(opts)
+		switch {
+		case *csv:
+			bench.WriteCSV(os.Stdout, r)
+		case *plot:
+			bench.WritePlot(os.Stdout, r, 72, 18)
+		default:
+			bench.WriteTable(os.Stdout, r)
+		}
+		fmt.Println()
+	}
+}

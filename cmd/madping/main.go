@@ -1,0 +1,98 @@
+// Command madping runs a point-to-point ping over a cluster-of-clusters
+// topology and reports per-size one-way latency and bandwidth, as the
+// paper's §3.1 test programs do.
+//
+// Usage:
+//
+//	madping                                   # paper testbed, a1 -> b1
+//	madping -from a0 -to b0 -sizes 4096,65536
+//	madping -config cluster.topo -from n1 -to n9 -mtu 16384
+//
+// The topology file uses the format of cmd/madtopo; when -config is absent
+// the paper's SCI+Myrinet testbed is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	madeleine "madgo"
+)
+
+func main() {
+	var (
+		config = flag.String("config", "", "topology file (default: the paper testbed)")
+		from   = flag.String("from", "a1", "source node")
+		to     = flag.String("to", "b1", "destination node")
+		sizes  = flag.String("sizes", "4096,16384,65536,262144,1048576,4194304", "comma-separated message sizes in bytes")
+		mtu    = flag.Int("mtu", 32*1024, "forwarding packet size")
+	)
+	flag.Parse()
+
+	var sys *madeleine.System
+	var err error
+	if *config == "" {
+		sys, err = madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
+			madeleine.WithMTU(*mtu), madeleine.WithRouteNetworks("sci0", "myri0"))
+	} else {
+		text, rerr := os.ReadFile(*config)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		sys, err = madeleine.NewSystem(string(text), madeleine.WithMTU(*mtu))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var ns []int
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad size %q", s))
+		}
+		ns = append(ns, n)
+	}
+
+	starts := make([]madeleine.Time, len(ns))
+	ends := make([]madeleine.Time, len(ns))
+	sys.Spawn("ping", func(p *madeleine.Proc) {
+		for i, n := range ns {
+			starts[i] = p.Now()
+			px := sys.At(*from).BeginPacking(p, *to)
+			px.Pack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			px.EndPacking(p)
+		}
+	})
+	sys.Spawn("pong", func(p *madeleine.Proc) {
+		for i, n := range ns {
+			u := sys.At(*to).BeginUnpacking(p)
+			u.Unpack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			u.EndUnpacking(p)
+			ends[i] = p.Now()
+		}
+	})
+	if err := sys.Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s -> %s (mtu %d)\n", *from, *to, *mtu)
+	fmt.Printf("%10s  %14s  %10s\n", "bytes", "one-way", "MB/s")
+	for i, n := range ns {
+		d := ends[i] - starts[i]
+		mbps := float64(n) / (float64(d) / 1e9) / 1e6
+		fmt.Printf("%10d  %14v  %10.1f\n", n, madeleine.Duration(d), mbps)
+	}
+	for _, g := range sys.Gateways() {
+		msgs, pkts, bytes := sys.GatewayStats(g)
+		fmt.Printf("gateway %s relayed %d messages / %d packets / %d bytes\n", g, msgs, pkts, bytes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "madping:", err)
+	os.Exit(1)
+}

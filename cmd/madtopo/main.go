@@ -1,0 +1,77 @@
+// Command madtopo validates a cluster-of-clusters configuration file and
+// prints its networks, nodes, gateways and the routing table the forwarding
+// layer would use.
+//
+// Usage:
+//
+//	madtopo cluster.topo
+//	madtopo -builtin            # the paper's testbed
+//	cat cluster.topo | madtopo -
+//
+// Configuration format:
+//
+//	# comment
+//	network <name> <protocol>   # protocol: sci myrinet ethernet sbp
+//	node <name> <network> [<network>...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	madeleine "madgo"
+)
+
+func main() {
+	builtin := flag.Bool("builtin", false, "use the paper's testbed instead of a file")
+	flag.Parse()
+
+	var tp *madeleine.Topology
+	switch {
+	case *builtin:
+		tp = madeleine.PaperTestbed()
+	case flag.NArg() == 1:
+		var text []byte
+		var err error
+		if flag.Arg(0) == "-" {
+			text, err = io.ReadAll(os.Stdin)
+		} else {
+			text, err = os.ReadFile(flag.Arg(0))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		tp, err = madeleine.ParseTopology(string(text))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: madtopo [-builtin] <file|->")
+		os.Exit(2)
+	}
+
+	fmt.Println("networks:")
+	for _, nw := range tp.Networks() {
+		fmt.Printf("  %-8s %-9s members: %s\n", nw.Name, nw.Protocol, strings.Join(nw.Members, " "))
+	}
+	fmt.Println("nodes:")
+	for _, n := range tp.Nodes() {
+		role := ""
+		if n.IsGateway() {
+			role = "  [gateway]"
+		}
+		fmt.Printf("  %-8s on %s%s\n", n.Name, strings.Join(n.Networks, " "), role)
+	}
+	fmt.Println("routes:")
+	for _, line := range strings.Split(strings.TrimSpace(madeleine.RouteTable(tp)), "\n") {
+		fmt.Println("  " + line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "madtopo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command madtrace streams one message through the paper testbed's gateway
+// and dumps the pipeline timeline — the textual Figures 5 and 8.
+//
+// Usage:
+//
+//	madtrace                      # SCI -> Myrinet (Figure 5)
+//	madtrace -dir m2s             # Myrinet -> SCI (Figure 8)
+//	madtrace -mtu 16384 -bytes 262144 -spans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	madeleine "madgo"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "s2m", `direction: "s2m" (SCI->Myrinet, Fig. 5) or "m2s" (Myrinet->SCI, Fig. 8)`)
+		mtu   = flag.Int("mtu", 32*1024, "forwarding packet size")
+		bytes = flag.Int("bytes", 256*1024, "message size")
+		cols  = flag.Int("cols", 100, "timeline width in columns")
+		spans = flag.Bool("spans", false, "also list raw spans")
+	)
+	flag.Parse()
+
+	var src, dst string
+	switch *dir {
+	case "s2m":
+		src, dst = "a1", "b1"
+	case "m2s":
+		src, dst = "b1", "a1"
+	default:
+		fmt.Fprintf(os.Stderr, "madtrace: bad -dir %q\n", *dir)
+		os.Exit(2)
+	}
+
+	tr := madeleine.NewTracer()
+	sys, err := madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
+		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr),
+		madeleine.WithRouteNetworks("sci0", "myri0"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madtrace:", err)
+		os.Exit(1)
+	}
+
+	n := *bytes
+	var done madeleine.Time
+	sys.Spawn("stream", func(p *madeleine.Proc) {
+		px := sys.At(src).BeginPacking(p, dst)
+		px.Pack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("drain", func(p *madeleine.Proc) {
+		u := sys.At(dst).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+		done = p.Now()
+	})
+	if err := sys.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "madtrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s -> %s, %d bytes in %d-byte packets, one-way %v (%.1f MB/s)\n\n",
+		src, dst, n, *mtu, madeleine.Duration(done),
+		float64(n)/(float64(done)/1e9)/1e6)
+	fmt.Println(tr.Timeline(0, done, *cols))
+	fmt.Println("r = receive step, s = send step, x = buffer switch overhead")
+	if *spans {
+		fmt.Println()
+		for _, s := range tr.Spans() {
+			fmt.Println(s)
+		}
+	}
+}

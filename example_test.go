@@ -1,0 +1,59 @@
+package madeleine_test
+
+import (
+	"fmt"
+
+	madeleine "madgo"
+)
+
+// ExampleNewSystem builds the smallest cluster of clusters and sends one
+// message across the gateway.
+func ExampleNewSystem() {
+	sys, err := madeleine.NewSystem(`
+		network sci0  sci
+		network myri0 myrinet
+		node left  sci0
+		node gw    sci0 myri0
+		node right myri0
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("left").BeginPacking(p, "right")
+		px.Pack(p, []byte("through the gateway"), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		u := sys.At("right").BeginUnpacking(p)
+		msg := make([]byte, 19)
+		u.Unpack(p, msg, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+		fmt.Printf("%s (forwarded=%v)\n", msg, u.Forwarded())
+	})
+	if err := sys.Run(); err != nil {
+		fmt.Println(err)
+	}
+	// Output: through the gateway (forwarded=true)
+}
+
+// ExampleSystem_Routes shows the routing table a virtual channel derives
+// from the topology.
+func ExampleSystem_Routes() {
+	sys, _ := madeleine.NewSystem(`
+		network n1 sci
+		network n2 myrinet
+		node a n1
+		node g n1 n2
+		node b n2
+	`)
+	fmt.Print(sys.Routes())
+	// Output:
+	// a -[n1]-> g -[n2]-> b
+	// a -[n1]-> g
+	// b -[n2]-> g -[n1]-> a
+	// b -[n2]-> g
+	// g -[n1]-> a
+	// g -[n2]-> b
+}

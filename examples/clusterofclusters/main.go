@@ -1,0 +1,71 @@
+// Cluster of clusters: the paper's testbed — an SCI cluster and a Myrinet
+// cluster bridged by a dual-NIC gateway. Messages between the clusters are
+// transparently fragmented, relayed through the gateway's double-buffer
+// pipeline and reassembled; intra-cluster messages travel directly. The
+// application code cannot tell the difference.
+//
+// Run with: go run ./examples/clusterofclusters
+package main
+
+import (
+	"fmt"
+	"log"
+
+	madeleine "madgo"
+)
+
+func main() {
+	sys, err := madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
+		madeleine.WithRouteNetworks("sci0", "myri0"), // the Ethernet is a control network
+		madeleine.WithMTU(32*1024),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("routes of the virtual channel (note the gateway hops):")
+	fmt.Println(sys.Routes())
+
+	send := func(from, to string, n int) {
+		sys.Spawn("send:"+from+">"+to, func(p *madeleine.Proc) {
+			payload := make([]byte, n)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			px := sys.At(from).BeginPacking(p, to)
+			px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			px.EndPacking(p)
+		})
+		sys.Spawn("recv:"+from+">"+to, func(p *madeleine.Proc) {
+			u := sys.At(to).BeginUnpacking(p)
+			got := make([]byte, n)
+			u.Unpack(p, got, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			u.EndUnpacking(p)
+			for i := range got {
+				if got[i] != byte(i) {
+					log.Fatalf("%s->%s corrupted", from, to)
+				}
+			}
+			kind := "direct"
+			if u.Forwarded() {
+				kind = "forwarded"
+			}
+			sec := float64(p.Now()) / 1e9
+			fmt.Printf("  %s -> %s: %4d KB, %-9s, done at %8v (≈%.1f MB/s incl. startup)\n",
+				from, to, n/1024, kind, p.Now(), float64(n)/sec/1e6)
+		})
+	}
+
+	// Inter-cluster both ways (crossing the gateway) and intra-cluster.
+	send("a0", "b0", 512*1024) // SCI -> Myrinet: the good direction
+	send("b2", "a2", 512*1024) // Myrinet -> SCI: the PCI-contended direction
+	send("a1", "a3", 512*1024) // intra-SCI: direct, no gateway
+	send("b1", "gw", 64*1024)  // the gateway is also an application node
+
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	msgs, pkts, bytes := sys.GatewayStats("gw")
+	fmt.Printf("\ngateway relayed %d messages, %d packets, %d bytes\n", msgs, pkts, bytes)
+	copies, copied := sys.Copies()
+	fmt.Printf("CPU copies across all nodes: %d (%d bytes) — headers only, payloads were zero-copy\n", copies, copied)
+}

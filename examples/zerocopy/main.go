@@ -1,0 +1,68 @@
+// Zero-copy buffer election (§2.3): a Myrinet cluster bridged to an
+// SBP-style network whose driver can only transmit from its own static
+// buffers. When forwarding toward it, the gateway asks the SBP driver for
+// static buffers and receives incoming packets *directly into them*, saving
+// the staging copy; with the election disabled every packet pays a CPU copy
+// at the gateway, and the difference is visible in both the copy counters
+// and the achieved bandwidth.
+//
+// Run with: go run ./examples/zerocopy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	madeleine "madgo"
+)
+
+const config = `
+network myri0 myrinet
+network sbp0  sbp
+node src myri0
+node gw  myri0 sbp0
+node dst sbp0
+`
+
+func run(zeroCopy bool) {
+	opts := []madeleine.Option{madeleine.WithMTU(32 * 1024)}
+	label := "zero-copy election"
+	if !zeroCopy {
+		opts = append(opts, madeleine.WithoutZeroCopy())
+		label = "copy-always        "
+	}
+	sys, err := madeleine.NewSystem(config, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 1 << 20
+	var done madeleine.Time
+	sys.Spawn("src", func(p *madeleine.Proc) {
+		px := sys.At("src").BeginPacking(p, "dst")
+		px.Pack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("dst", func(p *madeleine.Proc) {
+		u := sys.At("dst").BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+		done = p.Now()
+	})
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	copies, copied := sys.Copies()
+	fmt.Printf("%s: %6.1f MB/s, %3d CPU copies (%8d bytes) across all nodes\n",
+		label, float64(n)/(float64(done)/1e9)/1e6, copies, copied)
+}
+
+func main() {
+	fmt.Println("1 MB message, Myrinet ingress -> SBP (static buffer) egress:")
+	run(true)
+	run(false)
+	fmt.Println()
+	fmt.Println("The copy-always run stages every 32 KB packet through an extra buffer")
+	fmt.Println("at the gateway; the election receives straight into the SBP driver's")
+	fmt.Println("static buffers. The destination's copy out of its SBP slots and the")
+	fmt.Println("source's copy into aggregates are inherent to the static protocol.")
+}

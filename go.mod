@@ -1,0 +1,3 @@
+module madgo
+
+go 1.22

@@ -1,0 +1,246 @@
+package baseline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"madgo/internal/baseline"
+	"madgo/internal/drivers/bip"
+	"madgo/internal/drivers/sisci"
+	"madgo/internal/drivers/tcpnet"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/vtime"
+)
+
+type world struct {
+	sim   *vtime.Sim
+	sess  *mad.Session
+	relay *baseline.Relay
+}
+
+type netDriver interface {
+	mad.Driver
+	NewNetwork(pl *hw.Platform, name string) *hw.Network
+}
+
+func driverFor(proto string) netDriver {
+	switch proto {
+	case "sci":
+		return sisci.New()
+	case "myrinet":
+		return bip.New()
+	case "ethernet":
+		return tcpnet.New()
+	default:
+		panic("no driver for " + proto)
+	}
+}
+
+func build(t *testing.T, tp *topo.Topology, opts baseline.Options) *world {
+	t.Helper()
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	bindings := make(map[string]baseline.Binding)
+	for _, nw := range tp.Networks() {
+		drv := driverFor(nw.Protocol)
+		bindings[nw.Name] = baseline.Binding{Net: drv.NewNetwork(pl, nw.Name), Drv: drv}
+	}
+	relay, err := baseline.Build(sess, tp, bindings, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{sim: sim, sess: sess, relay: relay}
+}
+
+func hsTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewBuilder().
+		Network("sci0", "sci").
+		Network("myri0", "myrinet").
+		Node("a0", "sci0").Node("a1", "sci0").
+		Node("gw", "sci0", "myri0").
+		Node("b0", "myri0").Node("b1", "myri0").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func pacxTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewBuilder().
+		Network("sci0", "sci").
+		Network("myri0", "myrinet").
+		Network("eth0", "ethernet").
+		Node("a0", "sci0", "eth0").Node("a1", "sci0", "eth0").
+		Node("gw", "sci0", "myri0", "eth0").
+		Node("b0", "myri0", "eth0").Node("b1", "myri0", "eth0").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func pattern(n int, seed byte) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i)*13 + seed
+	}
+	return d
+}
+
+func roundTrip(t *testing.T, w *world, src, dst string, blocks [][]byte) *baseline.Message {
+	t.Helper()
+	w.sim.Spawn("s", func(p *vtime.Proc) {
+		w.relay.Send(p, src, dst, blocks)
+	})
+	var got *baseline.Message
+	w.sim.Spawn("r", func(p *vtime.Proc) {
+		got = w.relay.Recv(p, dst)
+	})
+	if err := w.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppLevelForwardingIntact(t *testing.T) {
+	w := build(t, hsTopo(t), baseline.Options{})
+	blocks := [][]byte{pattern(100_000, 1), pattern(33, 2), nil}
+	got := roundTrip(t, w, "a0", "b1", blocks)
+	if got.From != w.relay.NodeRank("a0") {
+		t.Errorf("From = %d", got.From)
+	}
+	if len(got.Blocks) != len(blocks) {
+		t.Fatalf("blocks = %d, want %d", len(got.Blocks), len(blocks))
+	}
+	for i := range blocks {
+		if !bytes.Equal(got.Blocks[i], blocks[i]) {
+			t.Errorf("block %d corrupted", i)
+		}
+	}
+	if n := w.relay.Relayed("gw"); n != 1 {
+		t.Errorf("gw relayed %d, want 1", n)
+	}
+}
+
+func TestDirectDeliverySkipsRelay(t *testing.T) {
+	w := build(t, hsTopo(t), baseline.Options{})
+	got := roundTrip(t, w, "a0", "a1", [][]byte{pattern(5000, 3)})
+	if !bytes.Equal(got.Blocks[0], pattern(5000, 3)) {
+		t.Error("corrupted")
+	}
+	if n := w.relay.Relayed("gw"); n != 0 {
+		t.Errorf("gw relayed %d for a direct route", n)
+	}
+}
+
+func TestDeliveryToGatewayApp(t *testing.T) {
+	// Messages for the gateway itself are handed to its local queue by
+	// the daemon.
+	w := build(t, hsTopo(t), baseline.Options{})
+	got := roundTrip(t, w, "a0", "gw", [][]byte{pattern(2000, 4)})
+	if !bytes.Equal(got.Blocks[0], pattern(2000, 4)) {
+		t.Error("corrupted")
+	}
+	if n := w.relay.Relayed("gw"); n != 0 {
+		t.Errorf("gw counted %d relays for local delivery", n)
+	}
+}
+
+func TestPACXUsesEthernetForInterCluster(t *testing.T) {
+	w := build(t, pacxTopo(t), baseline.Options{InterClusterNet: "eth0", RouteNetworks: []string{"sci0", "myri0"}})
+	blocks := [][]byte{pattern(50_000, 5)}
+	got := roundTrip(t, w, "a0", "b0", blocks)
+	if !bytes.Equal(got.Blocks[0], blocks[0]) {
+		t.Error("corrupted")
+	}
+	if n := w.relay.Relayed("gw"); n != 1 {
+		t.Errorf("gw relayed %d", n)
+	}
+}
+
+func TestPACXSlowerThanNexusStyle(t *testing.T) {
+	// The PACX TCP leg caps inter-cluster bandwidth at Fast-Ethernet
+	// speed; the Nexus-style relay at least keeps the high-speed
+	// networks.
+	oneway := func(opts baseline.Options) vtime.Duration {
+		w := build(t, pacxTopo(t), opts)
+		var done vtime.Time
+		data := pattern(1<<20, 6)
+		w.sim.Spawn("s", func(p *vtime.Proc) { w.relay.Send(p, "a0", "b0", [][]byte{data}) })
+		w.sim.Spawn("r", func(p *vtime.Proc) {
+			got := w.relay.Recv(p, "b0")
+			if !bytes.Equal(got.Blocks[0], data) {
+				t.Error("corrupted")
+			}
+			done = p.Now()
+		})
+		if err := w.sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return vtime.Duration(done)
+	}
+	nexus := oneway(baseline.Options{RouteNetworks: []string{"sci0", "myri0"}})
+	pacx := oneway(baseline.Options{InterClusterNet: "eth0", RouteNetworks: []string{"sci0", "myri0"}})
+	if pacx <= nexus {
+		t.Errorf("PACX (%v) should be slower than app-level native (%v)", pacx, nexus)
+	}
+	mbps := (1 << 20) / pacx.Seconds() / 1e6
+	if mbps > 12 {
+		t.Errorf("PACX inter-cluster at %.1f MB/s, should be Fast-Ethernet bound", mbps)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tp := hsTopo(t)
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	sci, myri := driverFor("sci"), driverFor("myrinet")
+	bindings := map[string]baseline.Binding{
+		"sci0":  {Net: sci.NewNetwork(pl, "sci0"), Drv: sci},
+		"myri0": {Net: myri.NewNetwork(pl, "myri0"), Drv: myri},
+	}
+	if _, err := baseline.Build(sess, tp, map[string]baseline.Binding{}, baseline.Options{}); err == nil {
+		t.Error("expected error for missing bindings")
+	}
+	if _, err := baseline.Build(sess, tp, bindings, baseline.Options{InterClusterNet: "nope"}); err == nil {
+		t.Error("expected error for unknown inter-cluster net")
+	}
+	if _, err := baseline.Build(sess, tp, bindings, baseline.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.Build(sess, tp, bindings, baseline.Options{}); err == nil {
+		t.Error("expected error for reused session")
+	}
+}
+
+func TestManyMessagesThroughRelay(t *testing.T) {
+	w := build(t, hsTopo(t), baseline.Options{})
+	const msgs = 6
+	w.sim.Spawn("s", func(p *vtime.Proc) {
+		for i := 0; i < msgs; i++ {
+			w.relay.Send(p, "a1", "b0", [][]byte{pattern(10_000+i, byte(i))})
+		}
+	})
+	w.sim.Spawn("r", func(p *vtime.Proc) {
+		for i := 0; i < msgs; i++ {
+			got := w.relay.Recv(p, "b0")
+			if !bytes.Equal(got.Blocks[0], pattern(10_000+i, byte(i))) {
+				t.Errorf("message %d corrupted", i)
+			}
+		}
+	})
+	if err := w.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.relay.Relayed("gw"); n != msgs {
+		t.Errorf("relayed %d, want %d", n, msgs)
+	}
+}

@@ -1,0 +1,252 @@
+// Package bench is the experiment harness: it rebuilds the paper's testbed
+// on the simulated platform and regenerates every table and figure of the
+// evaluation section, plus the ablations DESIGN.md calls out. Each
+// experiment is registered under the id used in DESIGN.md/EXPERIMENTS.md
+// (fig6, fig7, t1, ..., a5) and can be run from cmd/madbench or the root
+// benchmark suite.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes how heavy an experiment run is.
+type Options struct {
+	// Quick trims sweeps (fewer message sizes, smaller maxima) so the
+	// whole registry runs in well under a second — used by tests and
+	// -short benchmarks. Full sweeps match the paper's axes.
+	Quick bool
+}
+
+// Point is one measurement: X in the experiment's x-unit (usually message
+// bytes), Y usually in MB/s (decimal, as the paper plots).
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is the outcome of one experiment: either a set of curves (figures)
+// or a table (in-text measurements), plus free-form notes.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	Header []string
+	Table  [][]string
+
+	Notes []string
+}
+
+// Experiment is a registered, regenerable piece of the evaluation.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Options) *Result
+}
+
+var registry = map[string]*Experiment{}
+var order []string
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment in registration order.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(order))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// IDs returns the registered experiment ids in registration order.
+func IDs() []string { return append([]string(nil), order...) }
+
+// WriteTable renders a result as an aligned text table: figures become one
+// row per X with one column per series; table results print verbatim.
+func WriteTable(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) > 0 {
+		writeSeriesTable(w, r)
+	}
+	if len(r.Table) > 0 {
+		writeRawTable(w, r.Header, r.Table)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func writeSeriesTable(w io.Writer, r *Result) {
+	// Collect the union of X values.
+	xsSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{}
+	for _, x := range xs {
+		row := []string{formatX(x)}
+		for _, s := range r.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.1f", p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	if r.YLabel != "" {
+		fmt.Fprintf(w, "(cells in %s)\n", r.YLabel)
+	}
+	writeRawTable(w, header, rows)
+}
+
+func formatX(x float64) string {
+	switch {
+	case x >= 1<<20 && float64(int64(x))/(1<<20) == float64(int64(x)/(1<<20)):
+		return fmt.Sprintf("%dMB", int64(x)/(1<<20))
+	case x >= 1024 && float64(int64(x))/1024 == float64(int64(x)/1024):
+		return fmt.Sprintf("%dKB", int64(x)/1024)
+	default:
+		return fmt.Sprintf("%g", x)
+	}
+}
+
+func writeRawTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// WriteCSV renders a figure result as CSV (x, then one column per series).
+func WriteCSV(w io.Writer, r *Result) {
+	if len(r.Series) == 0 {
+		fmt.Fprintf(w, "# %s has no series; use the table form\n", r.ID)
+		return
+	}
+	cols := []string{r.XLabel}
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	xsSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range r.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.3f", p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// MaxY returns the highest Y of a named series (helper for shape checks and
+// headline numbers).
+func (r *Result) MaxY(series string) float64 {
+	max := 0.0
+	for _, s := range r.Series {
+		if s.Name != series && series != "" {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Y > max {
+				max = p.Y
+			}
+		}
+	}
+	return max
+}
+
+// YAt returns the Y value of a series at X (0 when absent).
+func (r *Result) YAt(series string, x float64) float64 {
+	for _, s := range r.Series {
+		if s.Name != series {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y
+			}
+		}
+	}
+	return 0
+}

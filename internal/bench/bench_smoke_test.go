@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDumpAll is a development aid: MADGO_DUMP=1 go test -run DumpAll -v
+// prints every experiment at quick settings.
+func TestDumpAll(t *testing.T) {
+	if os.Getenv("MADGO_DUMP") == "" {
+		t.Skip("set MADGO_DUMP=1 to dump all experiment tables")
+	}
+	for _, e := range All() {
+		r := e.Run(Options{Quick: true})
+		WriteTable(os.Stdout, r)
+	}
+}

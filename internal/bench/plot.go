@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePlot renders a figure result as an ASCII chart: log₂ x-axis
+// (message/packet sizes), linear y-axis, one mark per series — a terminal
+// rendition of the paper's gnuplot figures. Table-only results fall back to
+// WriteTable.
+func WritePlot(w io.Writer, r *Result, width, height int) {
+	if len(r.Series) == 0 {
+		WriteTable(w, r)
+		return
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := 0.0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.X <= 0 {
+				continue // log axis
+			}
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) || ymax == 0 {
+		fmt.Fprintln(w, "(no plottable points)")
+		return
+	}
+	lx0, lx1 := math.Log2(xmin), math.Log2(xmax)
+	if lx1 == lx0 {
+		lx1 = lx0 + 1
+	}
+	// Round the y-axis up to a friendly ceiling.
+	ytop := math.Ceil(ymax/5) * 5
+	if ytop == 0 {
+		ytop = 1
+	}
+
+	marks := []byte("ox+*#@%&")
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range r.Series {
+		m := marks[si%len(marks)]
+		for _, p := range s.Points {
+			if p.X <= 0 {
+				continue
+			}
+			col := int((math.Log2(p.X) - lx0) / (lx1 - lx0) * float64(width-1))
+			row := int(p.Y / ytop * float64(height-1))
+			if row > height-1 {
+				row = height - 1
+			}
+			if col < 0 || col >= width {
+				continue
+			}
+			r := height - 1 - row
+			if grid[r][col] == ' ' {
+				grid[r][col] = m
+			} else {
+				grid[r][col] = '?'
+			}
+		}
+	}
+
+	ylab := fmt.Sprintf("%s (0..%.0f)", r.YLabel, ytop)
+	fmt.Fprintf(w, "%s\n", ylab)
+	for i, line := range grid {
+		prefix := "      |"
+		switch i {
+		case 0:
+			prefix = fmt.Sprintf("%5.0f |", ytop)
+		case height - 1:
+			prefix = "    0 |"
+		}
+		fmt.Fprintf(w, "%s%s\n", prefix, line)
+	}
+	fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "       %-10s%*s\n", formatX(xmin), width-10, formatX(xmax))
+	fmt.Fprintf(w, "       %s (log scale)\n", r.XLabel)
+	var legend []string
+	for si, s := range r.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, "  "))
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}

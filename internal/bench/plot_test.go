@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePlotRendersSeries(t *testing.T) {
+	r := &Result{
+		ID: "demo", Title: "plot demo", XLabel: "message", YLabel: "MB/s",
+		Series: []Series{
+			{Name: "alpha", Points: []Point{{X: 1024, Y: 10}, {X: 4096, Y: 20}, {X: 16384, Y: 30}}},
+			{Name: "beta", Points: []Point{{X: 1024, Y: 5}, {X: 16384, Y: 40}}},
+		},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	WritePlot(&buf, r, 60, 12)
+	out := buf.String()
+	for _, want := range []string{"o=alpha", "x=beta", "log scale", "1KB", "16KB", "a note", "MB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("plot has no marks")
+	}
+}
+
+func TestWritePlotFallsBackForTables(t *testing.T) {
+	r := &Result{ID: "tbl", Title: "table only", Header: []string{"k", "v"}, Table: [][]string{{"a", "1"}}}
+	var buf bytes.Buffer
+	WritePlot(&buf, r, 40, 10)
+	if !strings.Contains(buf.String(), "a") {
+		t.Fatal("fallback table missing")
+	}
+}
+
+func TestWritePlotDegenerate(t *testing.T) {
+	// Zero-valued or nonpositive-x points must not crash the renderer.
+	r := &Result{
+		ID: "deg", Title: "degenerate", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []Point{{X: 0, Y: 0}, {X: -5, Y: 3}}}},
+	}
+	var buf bytes.Buffer
+	WritePlot(&buf, r, 40, 10)
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Fatalf("degenerate plot output:\n%s", buf.String())
+	}
+	// Tiny dimensions are clamped, single point works.
+	r2 := &Result{ID: "one", Series: []Series{{Name: "s", Points: []Point{{X: 8, Y: 1}}}}}
+	buf.Reset()
+	WritePlot(&buf, r2, 1, 1)
+	if buf.Len() == 0 {
+		t.Fatal("empty plot")
+	}
+}
+
+func TestWritePlotCollisionMark(t *testing.T) {
+	// Two series hitting the same cell produce the collision mark.
+	r := &Result{
+		ID: "col", Title: "collisions", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "s1", Points: []Point{{X: 64, Y: 10}}},
+			{Name: "s2", Points: []Point{{X: 64, Y: 10}}},
+		},
+	}
+	var buf bytes.Buffer
+	WritePlot(&buf, r, 30, 8)
+	if !strings.Contains(buf.String(), "?") {
+		t.Fatalf("collision mark missing:\n%s", buf.String())
+	}
+}
+
+func TestPlotRealFigure(t *testing.T) {
+	e, _ := Lookup("fig7")
+	var buf bytes.Buffer
+	WritePlot(&buf, e.Run(Options{Quick: true}), 72, 16)
+	if !strings.Contains(buf.String(), "paquet=8KB") {
+		t.Fatalf("fig7 plot:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,380 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"madgo/internal/baseline"
+	"madgo/internal/drivers/bip"
+	"madgo/internal/drivers/sbp"
+	"madgo/internal/drivers/sisci"
+	"madgo/internal/drivers/tcpnet"
+	"madgo/internal/fwd"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/trace"
+	"madgo/internal/vtime"
+)
+
+type netDriver interface {
+	mad.Driver
+	NewNetwork(pl *hw.Platform, name string) *hw.Network
+}
+
+func driverFor(protocol string) netDriver {
+	switch protocol {
+	case "sci":
+		return sisci.New()
+	case "myrinet":
+		return bip.New()
+	case "ethernet":
+		return tcpnet.New()
+	case "sbp":
+		return sbp.New()
+	default:
+		panic("bench: no driver for protocol " + protocol)
+	}
+}
+
+// Testbed reconstructs the paper's evaluation platform: the SCI cluster,
+// the Myrinet cluster, the dual-NIC gateway, a virtual channel over the two
+// high-speed networks, and the Fast-Ethernet network the ping programs use
+// for their return acks (§3.1).
+type Testbed struct {
+	Sim    *vtime.Sim
+	Sess   *mad.Session
+	VC     *fwd.VirtualChannel
+	Eth    *mad.Channel
+	Tracer *trace.Tracer
+}
+
+// NewTestbed builds the paper testbed with the given forwarding
+// configuration. A non-nil tracer in the config is kept accessible on the
+// testbed.
+func NewTestbed(cfg fwd.Config) *Testbed {
+	return NewTestbedDrivers(cfg, nil)
+}
+
+// NewTestbedDrivers is NewTestbed with per-protocol driver overrides — the
+// §3.4.1 workaround experiment swaps the SCI driver for its DMA-engine
+// variant this way.
+func NewTestbedDrivers(cfg fwd.Config, override map[string]mad.Driver) *Testbed {
+	tp := topo.PaperTestbed()
+	hs, err := tp.Restrict("sci0", "myri0")
+	if err != nil {
+		panic(err)
+	}
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	bindings := make(map[string]fwd.Binding)
+	for _, nw := range hs.Networks() {
+		var drv mad.Driver = driverFor(nw.Protocol)
+		if o, ok := override[nw.Protocol]; ok {
+			drv = o
+		}
+		bindings[nw.Name] = fwd.Binding{Net: pl.NewNetwork(nw.Name, drv.NIC()), Drv: drv}
+	}
+	vc, err := fwd.Build(sess, hs, bindings, cfg)
+	if err != nil {
+		panic(err)
+	}
+	// The Fast-Ethernet control network spans every node; it is a plain
+	// Madeleine channel outside the virtual channel, exactly the role it
+	// plays in the paper's ping program.
+	ethDrv := driverFor("ethernet")
+	ethNet := ethDrv.NewNetwork(pl, "eth0")
+	members := make([]*mad.Node, 0, len(sess.Nodes()))
+	members = append(members, sess.Nodes()...)
+	eth := sess.NewChannel("eth0", ethNet, ethDrv, members...)
+	return &Testbed{Sim: sim, Sess: sess, VC: vc, Eth: eth, Tracer: cfg.Tracer}
+}
+
+// PingResult is one one-way measurement.
+type PingResult struct {
+	Bytes int
+	// Faithful is the paper's method: round-trip time with a small
+	// Fast-Ethernet ack, minus the separately measured ack latency.
+	Faithful vtime.Duration
+	// Actual is the simulator's ground truth (receive completion minus
+	// send start), available because virtual time is global.
+	Actual vtime.Duration
+}
+
+// MBps converts a measurement to the paper's bandwidth unit.
+func (r PingResult) MBps() float64 {
+	return float64(r.Bytes) / r.Faithful.Seconds() / 1e6
+}
+
+// PingSeries runs the §3.1 ping program: for each size, src sends one
+// message of that size over the virtual channel to dst, and dst returns a
+// small ack over Fast-Ethernet. The ack one-way latency is calibrated first
+// with a pure Ethernet ping-pong, then subtracted from each observed
+// round-trip. All measurements of the series run in one deterministic
+// simulation.
+func (tb *Testbed) PingSeries(src, dst string, sizes []int) []PingResult {
+	results := make([]PingResult, len(sizes))
+	var ackOneWay vtime.Duration
+	sendStarts := make([]vtime.Time, len(sizes))
+	recvDones := make([]vtime.Time, len(sizes))
+
+	srcEth := tb.Eth.At(tb.Sess.NodeByName(src))
+	dstEth := tb.Eth.At(tb.Sess.NodeByName(dst))
+	srcRank := tb.VC.NodeRank(src)
+	dstRank := tb.VC.NodeRank(dst)
+	ackByte := []byte{0xAC}
+
+	tb.Sim.Spawn("ping:"+src, func(p *vtime.Proc) {
+		// Ack calibration: Ethernet ping-pong, half the round trip.
+		t0 := p.Now()
+		sendEth(p, srcEth, dstRank, ackByte)
+		recvEth(p, srcEth)
+		ackOneWay = vtime.Since(p.Now(), t0) / 2
+
+		for i, n := range sizes {
+			payload := make([]byte, n)
+			for j := range payload {
+				payload[j] = byte(j*31 + i)
+			}
+			start := p.Now()
+			sendStarts[i] = start
+			px := tb.VC.At(src).BeginPacking(p, dst)
+			px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+			px.EndPacking(p)
+			recvEth(p, srcEth) // the ack
+			rtt := vtime.Since(p.Now(), start)
+			results[i] = PingResult{Bytes: n, Faithful: rtt - ackOneWay}
+		}
+	})
+	tb.Sim.Spawn("pong:"+dst, func(p *vtime.Proc) {
+		// Ack calibration partner.
+		recvEth(p, dstEth)
+		sendEth(p, dstEth, srcRank, ackByte)
+
+		for i, n := range sizes {
+			u := tb.VC.At(dst).BeginUnpacking(p)
+			got := make([]byte, n)
+			u.Unpack(p, got, mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+			recvDones[i] = p.Now()
+			want := make([]byte, n)
+			for j := range want {
+				want[j] = byte(j*31 + i)
+			}
+			if !bytes.Equal(got, want) {
+				panic(fmt.Sprintf("bench: ping payload corrupted at %d bytes", n))
+			}
+			sendEth(p, dstEth, srcRank, ackByte)
+		}
+	})
+	if err := tb.Sim.Run(); err != nil {
+		panic(err)
+	}
+	for i := range results {
+		results[i].Actual = vtime.Since(recvDones[i], sendStarts[i])
+	}
+	return results
+}
+
+func sendEth(p *vtime.Proc, e *mad.Endpoint, to mad.Rank, payload []byte) {
+	px := e.BeginPacking(p, to)
+	px.Pack(p, payload, mad.SendCheaper, mad.ReceiveExpress)
+	px.EndPacking(p)
+}
+
+func recvEth(p *vtime.Proc, e *mad.Endpoint) {
+	u := e.BeginUnpacking(p)
+	u.Unpack(p, make([]byte, 1), mad.SendCheaper, mad.ReceiveExpress)
+	u.EndUnpacking(p)
+}
+
+// Stream sends one large message src→dst over the virtual channel and runs
+// the simulation; used by the trace-based experiments (t2, t3, fig5, fig8).
+func (tb *Testbed) Stream(src, dst string, n int) vtime.Duration {
+	var done vtime.Time
+	payload := make([]byte, n)
+	tb.Sim.Spawn("stream:"+src, func(p *vtime.Proc) {
+		px := tb.VC.At(src).BeginPacking(p, dst)
+		px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	tb.Sim.Spawn("drain:"+dst, func(p *vtime.Proc) {
+		u := tb.VC.At(dst).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		u.EndUnpacking(p)
+		done = p.Now()
+	})
+	if err := tb.Sim.Run(); err != nil {
+		panic(err)
+	}
+	return vtime.Duration(done)
+}
+
+// RawPair is a two-node, single-network fixture for the raw (no gateway)
+// measurements of §3.2.2.
+type RawPair struct {
+	Sim  *vtime.Sim
+	Sess *mad.Session
+	Ch   *mad.Channel
+	A, B *mad.Node
+}
+
+// NewRawPair builds two nodes connected by the given protocol.
+func NewRawPair(protocol string) *RawPair {
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	a := sess.AddNode("a")
+	b := sess.AddNode("b")
+	drv := driverFor(protocol)
+	net := drv.NewNetwork(pl, protocol+"0")
+	ch := sess.NewChannel("raw:"+protocol, net, drv, a, b)
+	return &RawPair{Sim: sim, Sess: sess, Ch: ch, A: a, B: b}
+}
+
+// OneWaySeries measures direct one-way times for each size on the pair.
+func (rp *RawPair) OneWaySeries(sizes []int) []vtime.Duration {
+	out := make([]vtime.Duration, len(sizes))
+	starts := make([]vtime.Time, len(sizes))
+	rp.Sim.Spawn("raw-send", func(p *vtime.Proc) {
+		for i, n := range sizes {
+			starts[i] = p.Now()
+			px := rp.Ch.At(rp.A).BeginPacking(p, rp.B.Rank)
+			px.Pack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+			px.EndPacking(p)
+		}
+	})
+	rp.Sim.Spawn("raw-recv", func(p *vtime.Proc) {
+		for i, n := range sizes {
+			u := rp.Ch.At(rp.B).BeginUnpacking(p)
+			u.Unpack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+			out[i] = vtime.Since(p.Now(), starts[i])
+		}
+	})
+	if err := rp.Sim.Run(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// topoSBP is the a5 topology: a Myrinet cluster bridged to an SBP
+// (static-buffer) network.
+func topoSBP() (*topo.Topology, error) {
+	return topo.NewBuilder().
+		Network("myri0", "myrinet").
+		Network("sbp0", "sbp").
+		Node("a", "myri0").
+		Node("g", "myri0", "sbp0").
+		Node("b", "sbp0").
+		Build()
+}
+
+// customBed is a virtual channel over an arbitrary topology, for the
+// ablations that need networks beyond the paper testbed.
+type customBed struct {
+	sim  *vtime.Sim
+	sess *mad.Session
+	vc   *fwd.VirtualChannel
+}
+
+func newCustomBed(tp *topo.Topology, cfg fwd.Config) *customBed {
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	bindings := make(map[string]fwd.Binding)
+	for _, nw := range tp.Networks() {
+		drv := driverFor(nw.Protocol)
+		bindings[nw.Name] = fwd.Binding{Net: drv.NewNetwork(pl, nw.Name), Drv: drv}
+	}
+	vc, err := fwd.Build(sess, tp, bindings, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return &customBed{sim: sim, sess: sess, vc: vc}
+}
+
+// stream sends one message and returns the one-way time.
+func (cb *customBed) stream(src, dst string, n int) vtime.Duration {
+	var done vtime.Time
+	cb.sim.Spawn("s", func(p *vtime.Proc) {
+		px := cb.vc.At(src).BeginPacking(p, dst)
+		px.Pack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	cb.sim.Spawn("r", func(p *vtime.Proc) {
+		u := cb.vc.At(dst).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		u.EndUnpacking(p)
+		done = p.Now()
+	})
+	if err := cb.sim.Run(); err != nil {
+		panic(err)
+	}
+	return vtime.Duration(done)
+}
+
+// BaselineBed is the testbed variant running an application-level relay
+// (Nexus-style, or PACX-style with the TCP option) instead of the
+// integrated forwarding.
+type BaselineBed struct {
+	Sim   *vtime.Sim
+	Sess  *mad.Session
+	Relay *baseline.Relay
+}
+
+// NewBaselineBed builds the full paper testbed (including Ethernet) under
+// the baseline relay.
+func NewBaselineBed(pacx bool) *BaselineBed {
+	tp := topo.PaperTestbed()
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	bindings := make(map[string]baseline.Binding)
+	for _, nw := range tp.Networks() {
+		drv := driverFor(nw.Protocol)
+		bindings[nw.Name] = baseline.Binding{Net: drv.NewNetwork(pl, nw.Name), Drv: drv}
+	}
+	opts := baseline.Options{RouteNetworks: []string{"sci0", "myri0"}}
+	if pacx {
+		opts.InterClusterNet = "eth0"
+	}
+	relay, err := baseline.Build(sess, tp, bindings, opts)
+	if err != nil {
+		panic(err)
+	}
+	return &BaselineBed{Sim: sim, Sess: sess, Relay: relay}
+}
+
+// OneWaySeries measures relay one-way times src→dst for each size.
+func (bb *BaselineBed) OneWaySeries(src, dst string, sizes []int) []vtime.Duration {
+	out := make([]vtime.Duration, len(sizes))
+	starts := make([]vtime.Time, len(sizes))
+	bb.Sim.Spawn("bl-send", func(p *vtime.Proc) {
+		for i, n := range sizes {
+			starts[i] = p.Now()
+			bb.Relay.Send(p, src, dst, [][]byte{make([]byte, n)})
+			// Pace the sender: wait for an app-level ack so messages
+			// do not overlap in the relay.
+			msg := bb.Relay.Recv(p, src)
+			if len(msg.Blocks) != 1 || len(msg.Blocks[0]) != 1 {
+				panic("bench: bad baseline ack")
+			}
+		}
+	})
+	bb.Sim.Spawn("bl-recv", func(p *vtime.Proc) {
+		for i, n := range sizes {
+			msg := bb.Relay.Recv(p, dst)
+			if len(msg.Blocks[0]) != n {
+				panic("bench: baseline payload size mismatch")
+			}
+			out[i] = vtime.Since(p.Now(), starts[i])
+			bb.Relay.Send(p, dst, src, [][]byte{{0xAC}})
+		}
+	})
+	if err := bb.Sim.Run(); err != nil {
+		panic(err)
+	}
+	return out
+}

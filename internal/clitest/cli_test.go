@@ -1,0 +1,155 @@
+// Package clitest builds the four command-line tools and exercises them
+// end-to-end — the binaries are deliverables, so they get the same
+// regression coverage as the library.
+package clitest_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildAll compiles every cmd into a temp dir once per test run.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "madgo-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	cmd.Dir = repoRoot()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		panic("building cmds: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func repoRoot() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	// internal/clitest -> repo root.
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+// run executes a built tool and returns its combined output.
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestMadbenchList(t *testing.T) {
+	out := run(t, "madbench", "-list")
+	for _, id := range []string{"t1", "fig6", "fig7", "headline", "a7"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestMadbenchQuickTable(t *testing.T) {
+	out := run(t, "madbench", "-quick", "t2")
+	if !strings.Contains(out, "pipeline period") || !strings.Contains(out, "40µs") {
+		t.Errorf("t2 output:\n%s", out)
+	}
+}
+
+func TestMadbenchCSV(t *testing.T) {
+	out := run(t, "madbench", "-quick", "-csv", "fig7")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[0], "message,") {
+		t.Errorf("csv output:\n%s", out)
+	}
+}
+
+func TestMadbenchPlot(t *testing.T) {
+	out := run(t, "madbench", "-quick", "-plot", "t1")
+	if !strings.Contains(out, "log scale") || !strings.Contains(out, "legend:") {
+		t.Errorf("plot output:\n%s", out)
+	}
+}
+
+func TestMadbenchUnknownExperiment(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "madbench"), "frobnicate")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestMadpingDefaults(t *testing.T) {
+	out := run(t, "madping", "-sizes", "4096,65536")
+	if !strings.Contains(out, "a1 -> b1") || !strings.Contains(out, "gateway gw relayed") {
+		t.Errorf("madping output:\n%s", out)
+	}
+	if !strings.Contains(out, "65536") {
+		t.Errorf("missing size row:\n%s", out)
+	}
+}
+
+func TestMadtraceBothDirections(t *testing.T) {
+	s2m := run(t, "madtrace", "-bytes", "131072")
+	if !strings.Contains(s2m, "gw:recv:sci0") || !strings.Contains(s2m, "gw:send:myri0") {
+		t.Errorf("s2m timeline:\n%s", s2m)
+	}
+	m2s := run(t, "madtrace", "-dir", "m2s", "-bytes", "131072", "-spans")
+	if !strings.Contains(m2s, "gw:send:sci0") || !strings.Contains(m2s, "swap") {
+		t.Errorf("m2s timeline:\n%s", m2s)
+	}
+}
+
+func TestMadtopoBuiltinAndStdin(t *testing.T) {
+	out := run(t, "madtopo", "-builtin")
+	for _, want := range []string{"networks:", "gw", "[gateway]", "routes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("madtopo output missing %q:\n%s", want, out)
+		}
+	}
+	cmd := exec.Command(filepath.Join(binDir, "madtopo"), "-")
+	cmd.Stdin = strings.NewReader("network n sci\nnode a n\nnode b n\n")
+	stdinOut, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("stdin mode: %v\n%s", err, stdinOut)
+	}
+	if !strings.Contains(string(stdinOut), "a -[n]-> b") {
+		t.Errorf("stdin route missing:\n%s", stdinOut)
+	}
+}
+
+func TestMadtopoRejectsBadConfig(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "madtopo"), "-")
+	cmd.Stdin = strings.NewReader("garbage\n")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("bad config accepted:\n%s", out)
+	}
+}
+
+func TestMadpingCustomConfig(t *testing.T) {
+	cfg := filepath.Join(t.TempDir(), "chain.topo")
+	text := "network n1 sci\nnetwork n2 myrinet\nnode x n1\nnode g n1 n2\nnode y n2\n"
+	if err := os.WriteFile(cfg, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "madping", "-config", cfg, "-from", "x", "-to", "y", "-sizes", "32768")
+	if !strings.Contains(out, "x -> y") || !strings.Contains(out, "gateway g relayed") {
+		t.Errorf("madping custom config output:\n%s", out)
+	}
+}
+
+func TestMadpingRejectsBadSizes(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "madping"), "-sizes", "zero")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("bad sizes accepted:\n%s", out)
+	}
+}

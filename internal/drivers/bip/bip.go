@@ -1,0 +1,53 @@
+// Package bip is the Myrinet transmission module, modelled after BIP (Basic
+// Interface for Parallelism) on LANai 4.3 boards — the interconnect of the
+// paper's first cluster.
+//
+// Characteristics carried by the model: dynamic buffers (any user memory can
+// be sent), card-initiated DMA on both PCI buses, a credit-based eager path
+// for short messages and a rendezvous handshake for long ones, high
+// asymptotic bandwidth but a noticeable per-message cost that makes SCI the
+// better network below the ≈16 KB crossover.
+package bip
+
+import (
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+)
+
+// Driver is the BIP/Myrinet transmission module.
+type Driver struct {
+	mad.BaseDriver
+	nic hw.NICParams
+}
+
+// New returns a BIP driver with the calibrated LANai 4.3 model.
+func New() *Driver { return &Driver{nic: hw.Myrinet()} }
+
+// NewWith returns a BIP driver with explicit NIC parameters (used by
+// sensitivity-analysis benchmarks).
+func NewWith(nic hw.NICParams) *Driver { return &Driver{nic: nic} }
+
+// Protocol returns "myrinet".
+func (d *Driver) Protocol() string { return "myrinet" }
+
+// NIC returns the hardware model.
+func (d *Driver) NIC() hw.NICParams { return d.nic }
+
+// Caps: dynamic buffers with an 8 KB aggregation buffer; blocks up to 1 KB
+// (and express blocks) are grouped, larger cheaper blocks go zero-copy. The
+// LANai gathers send descriptors in firmware, so grouping costs no host
+// copies (§2.1.1's "optional scatter/gather protocol capabilities").
+func (d *Driver) Caps() mad.Caps {
+	return mad.Caps{
+		AggregateLimit: 8 * 1024,
+		CopyThreshold:  1024,
+		ScatterGather:  true,
+		GatherEntries:  16,
+	}
+}
+
+// NewNetwork creates a Myrinet network instance whose wires match this
+// driver's NIC model.
+func (d *Driver) NewNetwork(pl *hw.Platform, name string) *hw.Network {
+	return pl.NewNetwork(name, d.nic)
+}

@@ -1,0 +1,140 @@
+package bip_test
+
+import (
+	"bytes"
+	"testing"
+
+	"madgo/internal/drivers/bip"
+	"madgo/internal/fluid"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/vtime"
+)
+
+func TestDriverIdentity(t *testing.T) {
+	d := bip.New()
+	if d.Protocol() != "myrinet" {
+		t.Fatalf("protocol = %s", d.Protocol())
+	}
+	nic := d.NIC()
+	if nic.SendBusClass != fluid.ClassDMA || nic.RecvBusClass != fluid.ClassDMA {
+		t.Error("BIP must DMA on both buses")
+	}
+	if nic.RendezvousThreshold == 0 {
+		t.Error("BIP needs a long-message rendezvous")
+	}
+	caps := d.Caps()
+	if caps.StaticBuffers {
+		t.Error("BIP has dynamic buffers")
+	}
+	if caps.AggregateLimit == 0 {
+		t.Error("BIP groups small blocks")
+	}
+}
+
+func TestNewWithOverridesModel(t *testing.T) {
+	nic := hw.Myrinet()
+	nic.SendEngineRate = 99e6
+	d := bip.NewWith(nic)
+	if d.NIC().SendEngineRate != 99e6 {
+		t.Error("NewWith did not take the custom model")
+	}
+}
+
+func TestAllocStaticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pl := hw.NewPlatform(vtime.New())
+	h := pl.NewHost("x", hw.DefaultCPU(), hw.DefaultPCI())
+	bip.New().AllocStatic(h, 1024)
+}
+
+// TestRendezvousVsEagerTiming checks that a message just above the
+// rendezvous threshold pays the handshake and a message below does not.
+func TestRendezvousVsEagerTiming(t *testing.T) {
+	oneway := func(n int) vtime.Duration {
+		sim := vtime.New()
+		pl := hw.NewPlatform(sim)
+		sess := mad.NewSession(pl)
+		a := sess.AddNode("a")
+		b := sess.AddNode("b")
+		d := bip.New()
+		ch := sess.NewChannel("c", d.NewNetwork(pl, "m"), d, a, b)
+		var done vtime.Time
+		sim.Spawn("s", func(p *vtime.Proc) {
+			px := ch.At(a).BeginPacking(p, b.Rank)
+			px.Pack(p, make([]byte, n), mad.SendLater, mad.ReceiveCheaper)
+			px.EndPacking(p)
+		})
+		sim.Spawn("r", func(p *vtime.Proc) {
+			u := ch.At(b).BeginUnpacking(p)
+			u.Unpack(p, make([]byte, n), mad.SendLater, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+			done = p.Now()
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return vtime.Duration(done)
+	}
+	thr := bip.New().NIC().RendezvousThreshold
+	below := oneway(thr)     // eager
+	above := oneway(thr + 1) // rendezvous
+	extra := above - below
+	want := bip.New().NIC().RendezvousCost
+	if extra < want/2 {
+		t.Errorf("rendezvous added only %v, want ≈%v", extra, want)
+	}
+}
+
+func TestSmallMessagesAggregated(t *testing.T) {
+	// Many tiny blocks must ride in aggregates (copies on both sides),
+	// and arrive intact.
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	a := sess.AddNode("a")
+	b := sess.AddNode("b")
+	d := bip.New()
+	ch := sess.NewChannel("c", d.NewNetwork(pl, "m"), d, a, b)
+	const blocks = 40
+	sim.Spawn("s", func(p *vtime.Proc) {
+		px := ch.At(a).BeginPacking(p, b.Rank)
+		for i := 0; i < blocks; i++ {
+			px.Pack(p, []byte{byte(i), byte(i + 1)}, mad.SendCheaper, mad.ReceiveCheaper)
+		}
+		px.EndPacking(p)
+	})
+	sim.Spawn("r", func(p *vtime.Proc) {
+		u := ch.At(b).BeginUnpacking(p)
+		for i := 0; i < blocks; i++ {
+			got := make([]byte, 2)
+			u.Unpack(p, got, mad.SendCheaper, mad.ReceiveCheaper)
+			if !bytes.Equal(got, []byte{byte(i), byte(i + 1)}) {
+				t.Errorf("block %d corrupted", i)
+			}
+		}
+		u.EndUnpacking(p)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The LANai gathers send descriptors: the SENDER makes no host
+	// copies; the receiver still copies blocks out of the aggregate.
+	if a.Host.Copies() != 0 {
+		t.Errorf("scatter/gather sender made %d copies", a.Host.Copies())
+	}
+	if b.Host.Copies() == 0 {
+		t.Error("receiver must copy blocks out of the aggregate")
+	}
+}
+
+func TestScatterGatherCapability(t *testing.T) {
+	caps := bip.New().Caps()
+	if !caps.ScatterGather || caps.GatherEntries == 0 {
+		t.Error("BIP models a gather-DMA send path")
+	}
+}

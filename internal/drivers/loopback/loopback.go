@@ -1,0 +1,56 @@
+// Package loopback is a test-only transmission module with (almost) free,
+// instantaneous transfers: unit tests for the message layer and the
+// forwarding machinery use it to check behaviour without the hardware model
+// getting in the way.
+package loopback
+
+import (
+	"madgo/internal/fluid"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/vtime"
+)
+
+// Params returns a NIC model so fast its costs are negligible while
+// remaining strictly positive (the fluid engine requires positive rates).
+func Params() hw.NICParams {
+	return hw.NICParams{
+		Protocol:       "loopback",
+		WireRate:       1e15,
+		WireLatency:    vtime.Nanosecond,
+		SendEngineRate: 1e15,
+		SendBusClass:   fluid.ClassDMA,
+		RecvEngineRate: 1e15,
+		RecvBusClass:   fluid.ClassDMA,
+	}
+}
+
+// Driver is the loopback transmission module.
+type Driver struct {
+	mad.BaseDriver
+	caps mad.Caps
+}
+
+// New returns a loopback driver with a small aggregation buffer so both the
+// copied and the referenced paths get exercised.
+func New() *Driver {
+	return &Driver{caps: mad.Caps{AggregateLimit: 4096, CopyThreshold: 256}}
+}
+
+// NewWithCaps returns a loopback driver with explicit capabilities, letting
+// tests force a particular BMM (eager, aggregating sizes, TM MTU).
+func NewWithCaps(caps mad.Caps) *Driver { return &Driver{caps: caps} }
+
+// Protocol returns "loopback".
+func (d *Driver) Protocol() string { return "loopback" }
+
+// NIC returns the near-free hardware model.
+func (d *Driver) NIC() hw.NICParams { return Params() }
+
+// Caps returns the configured capabilities.
+func (d *Driver) Caps() mad.Caps { return d.caps }
+
+// NewNetwork creates a loopback network instance.
+func (d *Driver) NewNetwork(pl *hw.Platform, name string) *hw.Network {
+	return pl.NewNetwork(name, Params())
+}

@@ -1,0 +1,57 @@
+// Package sisci is the SCI transmission module, modelled after Dolphin's
+// SISCI library on D310 boards — the interconnect of the paper's second
+// cluster.
+//
+// Characteristics carried by the model: sends are processor PIO writes into
+// mapped remote segments, accelerated by the CPU's write-combining buffer
+// (full rate only for ≥128-byte chunks); remote writes land on the
+// receiving bus as card-initiated DMA; latency is excellent, which is why
+// SCI wins for small messages. The PIO send path is precisely what the
+// Myrinet card's DMA outranks on a gateway, producing the paper's §3.4
+// collapse.
+package sisci
+
+import (
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+)
+
+// Driver is the SISCI/SCI transmission module.
+type Driver struct {
+	mad.BaseDriver
+	nic hw.NICParams
+}
+
+// New returns a SISCI driver with the calibrated D310 model.
+func New() *Driver { return &Driver{nic: hw.SCI()} }
+
+// NewDMA returns a SISCI driver that sends with the board's DMA engine
+// instead of processor PIO — the §3.4.1 workaround for the gateway PCI
+// conflict. Slightly slower in isolation, immune to the DMA-over-PIO
+// demotion when forwarding Myrinet→SCI.
+func NewDMA() *Driver { return &Driver{nic: hw.SCIDMA()} }
+
+// NewWith returns a SISCI driver with explicit NIC parameters.
+func NewWith(nic hw.NICParams) *Driver { return &Driver{nic: nic} }
+
+// Protocol returns "sci".
+func (d *Driver) Protocol() string { return "sci" }
+
+// NIC returns the hardware model.
+func (d *Driver) NIC() hw.NICParams { return d.nic }
+
+// Caps: dynamic buffers; aggregation up to 8 KB with a small copy threshold
+// — SCI moves even modest blocks efficiently in place, so only sub-WC-chunk
+// blocks are worth grouping.
+func (d *Driver) Caps() mad.Caps {
+	return mad.Caps{
+		AggregateLimit: 8 * 1024,
+		CopyThreshold:  128,
+	}
+}
+
+// NewNetwork creates an SCI network instance whose wires match this
+// driver's NIC model.
+func (d *Driver) NewNetwork(pl *hw.Platform, name string) *hw.Network {
+	return pl.NewNetwork(name, d.nic)
+}

@@ -1,0 +1,115 @@
+package sisci_test
+
+import (
+	"testing"
+
+	"madgo/internal/drivers/sisci"
+	"madgo/internal/fluid"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/vtime"
+)
+
+func TestDriverIdentity(t *testing.T) {
+	d := sisci.New()
+	if d.Protocol() != "sci" {
+		t.Fatalf("protocol = %s", d.Protocol())
+	}
+	nic := d.NIC()
+	if nic.SendBusClass != fluid.ClassPIO {
+		t.Error("SCI sends are processor PIO — the whole point of §3.4")
+	}
+	if nic.RecvBusClass != fluid.ClassDMA {
+		t.Error("remote writes land as card DMA")
+	}
+	if nic.RendezvousThreshold != 0 {
+		t.Error("SISCI has no rendezvous")
+	}
+	if nic.WCChunk == 0 || nic.SmallWriteRate == 0 {
+		t.Error("write-combining model missing")
+	}
+	if nic.PostGateThreshold == 0 {
+		t.Error("large sends must be post-gated (exposed remote buffers)")
+	}
+}
+
+func TestDMAModeIdentity(t *testing.T) {
+	d := sisci.NewDMA()
+	nic := d.NIC()
+	if nic.SendBusClass != fluid.ClassDMA {
+		t.Error("DMA mode must class sends as DMA")
+	}
+	if nic.SendEngineRate >= sisci.New().NIC().SendEngineRate {
+		t.Error("the D310 DMA engine is slower than write-combined PIO")
+	}
+	if nic.WCChunk != 0 {
+		t.Error("write combining is a PIO concept")
+	}
+}
+
+// oneway measures a single-block transfer with the given driver.
+func oneway(t *testing.T, d *sisci.Driver, n int) vtime.Duration {
+	t.Helper()
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	a := sess.AddNode("a")
+	b := sess.AddNode("b")
+	ch := sess.NewChannel("c", d.NewNetwork(pl, "s"), d, a, b)
+	var done vtime.Time
+	sim.Spawn("s", func(p *vtime.Proc) {
+		px := ch.At(a).BeginPacking(p, b.Rank)
+		px.Pack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sim.Spawn("r", func(p *vtime.Proc) {
+		u := ch.At(b).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		u.EndUnpacking(p)
+		done = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return vtime.Duration(done)
+}
+
+func TestPIOBeatsDMAInIsolation(t *testing.T) {
+	// Without bus contention, write-combined PIO is the faster engine —
+	// which is why it is the default and why the paper's gateway suffers.
+	pio := oneway(t, sisci.New(), 256*1024)
+	dma := oneway(t, sisci.NewDMA(), 256*1024)
+	if pio >= dma {
+		t.Errorf("PIO (%v) should beat DMA (%v) on an idle machine", pio, dma)
+	}
+}
+
+func TestLatencyClass(t *testing.T) {
+	// SCI's small-message latency is the microsecond-class number that
+	// makes it win below the crossover.
+	d := oneway(t, sisci.New(), 1)
+	if us := d.Microseconds(); us > 10 {
+		t.Errorf("1-byte latency = %.1fµs, want < 10µs", us)
+	}
+}
+
+func TestWriteCombiningFloor(t *testing.T) {
+	nic := sisci.New().NIC()
+	if r := nic.EffectiveSendRate(64); r != nic.SmallWriteRate {
+		t.Errorf("sub-chunk rate = %v", r)
+	}
+	if r := nic.EffectiveSendRate(nic.WCChunk); r != nic.SendEngineRate {
+		t.Errorf("chunk-aligned rate = %v", r)
+	}
+}
+
+func TestAllocStaticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pl := hw.NewPlatform(vtime.New())
+	h := pl.NewHost("x", hw.DefaultCPU(), hw.DefaultPCI())
+	sisci.New().AllocStatic(h, 1024)
+}

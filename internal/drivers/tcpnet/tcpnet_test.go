@@ -1,0 +1,102 @@
+package tcpnet_test
+
+import (
+	"testing"
+
+	"madgo/internal/drivers/tcpnet"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/vtime"
+)
+
+func TestDriverIdentity(t *testing.T) {
+	d := tcpnet.New()
+	if d.Protocol() != "ethernet" {
+		t.Fatalf("protocol = %s", d.Protocol())
+	}
+	if d.Caps().StaticBuffers {
+		t.Error("sockets take any user memory")
+	}
+	if d.NIC().WireRate > 12.5e6 {
+		t.Error("Fast Ethernet is 100 Mb/s")
+	}
+}
+
+func TestKernelCopiesChargedBothSides(t *testing.T) {
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	a := sess.AddNode("a")
+	b := sess.AddNode("b")
+	d := tcpnet.New()
+	ch := sess.NewChannel("c", d.NewNetwork(pl, "e"), d, a, b)
+	const n = 200_000
+	sim.Spawn("s", func(p *vtime.Proc) {
+		px := ch.At(a).BeginPacking(p, b.Rank)
+		px.Pack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sim.Spawn("r", func(p *vtime.Proc) {
+		u := ch.At(b).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Host.BytesCopied() < n {
+		t.Errorf("sender kernel copies = %d, want >= %d", a.Host.BytesCopied(), n)
+	}
+	if b.Host.BytesCopied() < n {
+		t.Errorf("receiver kernel copies = %d, want >= %d", b.Host.BytesCopied(), n)
+	}
+}
+
+func TestBandwidthEthernetBound(t *testing.T) {
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	a := sess.AddNode("a")
+	b := sess.AddNode("b")
+	d := tcpnet.New()
+	ch := sess.NewChannel("c", d.NewNetwork(pl, "e"), d, a, b)
+	const n = 1 << 20
+	var done vtime.Time
+	sim.Spawn("s", func(p *vtime.Proc) {
+		px := ch.At(a).BeginPacking(p, b.Rank)
+		px.Pack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sim.Spawn("r", func(p *vtime.Proc) {
+		u := ch.At(b).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		u.EndUnpacking(p)
+		done = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mbps := float64(n) / vtime.Duration(done).Seconds() / 1e6
+	if mbps > 12 || mbps < 7 {
+		t.Errorf("TCP bandwidth = %.1f MB/s, want ≈10", mbps)
+	}
+}
+
+func TestAllocStaticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pl := hw.NewPlatform(vtime.New())
+	h := pl.NewHost("x", hw.DefaultCPU(), hw.DefaultPCI())
+	tcpnet.New().AllocStatic(h, 1)
+}
+
+func TestNewWith(t *testing.T) {
+	nic := hw.FastEthernet()
+	nic.WireLatency = 123 * vtime.Microsecond
+	if tcpnet.NewWith(nic).NIC().WireLatency != 123*vtime.Microsecond {
+		t.Error("NewWith ignored the model")
+	}
+}

@@ -1,0 +1,138 @@
+package fluid
+
+import (
+	"testing"
+
+	"madgo/internal/vtime"
+)
+
+func TestFlowAccessors(t *testing.T) {
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", 10*MB, nil)
+	f := e.Start(Spec{Name: "probe", Class: ClassPIO, Demand: 5 * MB, Bytes: 10e6, Route: Path(ClassPIO, r)}, nil)
+	if f.Name() != "probe" || f.Class() != ClassPIO {
+		t.Error("identity accessors wrong")
+	}
+	if f.Rate() != 5*MB {
+		t.Errorf("rate = %v", f.Rate())
+	}
+	if f.Remaining() != 10e6 {
+		t.Errorf("remaining = %v", f.Remaining())
+	}
+	if r.Name() != "bus" || r.Capacity() != 10*MB || r.ActiveFlows() != 1 {
+		t.Error("resource accessors wrong")
+	}
+	s.Spawn("idle", func(p *vtime.Proc) { p.Sleep(5 * vtime.Second) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Remaining() != 0 || f.Rate() != 0 {
+		t.Errorf("finished flow: remaining=%v rate=%v", f.Remaining(), f.Rate())
+	}
+}
+
+func TestStartZeroBytesFiresCallback(t *testing.T) {
+	s := vtime.New()
+	e := NewEngine(s)
+	fired := false
+	if f := e.Start(Spec{Name: "none", Demand: 1, Bytes: 0}, func() { fired = true }); f != nil {
+		t.Fatal("zero-byte start returned a flow")
+	}
+	s.Spawn("idle", func(p *vtime.Proc) { p.Sleep(vtime.Microsecond) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("callback not fired")
+	}
+}
+
+func TestManyOverlappingFlowsCompleteExactly(t *testing.T) {
+	// A stress shape: 40 flows with staggered starts over three shared
+	// resources; every byte must be accounted for.
+	s := vtime.New()
+	e := NewEngine(s)
+	r1 := e.NewResource("r1", 50*MB, nil)
+	r2 := e.NewResource("r2", 30*MB, nil)
+	r3 := e.NewResource("r3", 70*MB, nil)
+	routes := [][]Hop{
+		Path(ClassDMA, r1),
+		Path(ClassDMA, r1, r2),
+		Path(ClassDMA, r2, r3),
+		Path(ClassDMA, r1, r2, r3),
+	}
+	var total float64
+	done := 0
+	for i := 0; i < 40; i++ {
+		i := i
+		n := int64(1e5 * float64(1+i%7))
+		total += float64(n)
+		s.Spawn("f", func(p *vtime.Proc) {
+			p.Sleep(vtime.Duration(i) * 3 * vtime.Millisecond)
+			e.Transfer(p, Spec{
+				Name: "f", Class: ClassDMA, Demand: 40 * MB, Bytes: n,
+				Route: routes[i%len(routes)],
+			})
+			done++
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 40 {
+		t.Fatalf("done = %d", done)
+	}
+	if e.ActiveFlows() != 0 {
+		t.Fatalf("flows leaked: %d", e.ActiveFlows())
+	}
+	// r1 carried routes 0, 1 and 3.
+	var want1 float64
+	for i := 0; i < 40; i++ {
+		if m := i % len(routes); m == 0 || m == 1 || m == 3 {
+			want1 += 1e5 * float64(1+i%7)
+		}
+	}
+	if diff := r1.BytesServed() - want1; diff > 1 || diff < -1 {
+		t.Fatalf("r1 served %.0f, want %.0f", r1.BytesServed(), want1)
+	}
+}
+
+func TestInterferenceOnlyOnTaggedHop(t *testing.T) {
+	// A flow that is PIO on one bus and DMA on another is only demoted
+	// where it is PIO — the per-hop class refinement used by the SCI
+	// driver.
+	pioUnderDMA := func(self Presence, active []Presence) float64 {
+		if self.Class != ClassPIO {
+			return 1
+		}
+		for _, g := range active {
+			if g.Class == ClassDMA {
+				return 0.5
+			}
+		}
+		return 1
+	}
+	s := vtime.New()
+	e := NewEngine(s)
+	srcBus := e.NewResource("src", 132*MB, pioUnderDMA)
+	dstBus := e.NewResource("dst", 132*MB, pioUnderDMA)
+	// Background DMA on the DESTINATION bus only.
+	e.Start(Spec{Name: "noise", Class: ClassDMA, Demand: 40 * MB, Bytes: 400e6, Route: Path(ClassDMA, dstBus)}, nil)
+	var d vtime.Duration
+	s.Spawn("x", func(p *vtime.Proc) {
+		// PIO on the source bus, DMA on the destination bus: no
+		// demotion anywhere (the PIO hop sees no DMA, the DMA hop is
+		// not demotable).
+		d = e.Transfer(p, Spec{
+			Name: "mixed", Class: ClassPIO, Demand: 40 * MB, Bytes: 40e6,
+			Route: []Hop{{R: srcBus, Class: ClassPIO}, {R: dstBus, Class: ClassDMA}},
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d.Seconds(), 1.0, 1e-6) {
+		t.Fatalf("mixed-class flow took %v, want 1s (no demotion)", d)
+	}
+}

@@ -1,0 +1,337 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"madgo/internal/vtime"
+)
+
+const MB = 1e6 // bytes; the paper reports MB/s with decimal megabytes
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlowRateIsMinOfDemandAndCapacity(t *testing.T) {
+	cases := []struct {
+		demand, capacity float64
+		bytes            int64
+		wantSec          float64
+	}{
+		{demand: 50 * MB, capacity: 100 * MB, bytes: 50e6, wantSec: 1.0}, // demand-limited
+		{demand: 200 * MB, capacity: 40 * MB, bytes: 80e6, wantSec: 2.0}, // capacity-limited
+	}
+	for i, c := range cases {
+		s := vtime.New()
+		e := NewEngine(s)
+		r := e.NewResource("bus", c.capacity, nil)
+		var got vtime.Duration
+		s.Spawn("xfer", func(p *vtime.Proc) {
+			got = e.Transfer(p, Spec{Name: "t", Class: ClassDMA, Demand: c.demand, Bytes: c.bytes, Route: Path(ClassDMA, r)})
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got.Seconds(), c.wantSec, 1e-6) {
+			t.Errorf("case %d: duration = %v, want %.3fs", i, got, c.wantSec)
+		}
+	}
+}
+
+func TestZeroByteTransferIsFree(t *testing.T) {
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", MB, nil)
+	s.Spawn("xfer", func(p *vtime.Proc) {
+		if d := e.Transfer(p, Spec{Name: "none", Demand: MB, Bytes: 0, Route: Path(ClassDMA, r)}); d != 0 {
+			t.Errorf("duration = %v, want 0", d)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	// Two identical flows on a 40 MB/s bus each get 20 MB/s.
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", 40*MB, nil)
+	var d1, d2 vtime.Duration
+	s.Spawn("a", func(p *vtime.Proc) {
+		d1 = e.Transfer(p, Spec{Name: "a", Demand: 100 * MB, Bytes: 20e6, Route: Path(ClassDMA, r)})
+	})
+	s.Spawn("b", func(p *vtime.Proc) {
+		d2 = e.Transfer(p, Spec{Name: "b", Demand: 100 * MB, Bytes: 20e6, Route: Path(ClassDMA, r)})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both run concurrently at 20 MB/s: 1 second each.
+	if !almostEqual(d1.Seconds(), 1.0, 1e-6) || !almostEqual(d2.Seconds(), 1.0, 1e-6) {
+		t.Errorf("durations = %v, %v, want 1s each", d1, d2)
+	}
+}
+
+func TestMaxMinRespectsDemand(t *testing.T) {
+	// A 10 MB/s-demand flow and a greedy flow on a 40 MB/s bus: the
+	// greedy one gets the leftover 30 MB/s, not a 20/20 split.
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", 40*MB, nil)
+	var slow, fast vtime.Duration
+	s.Spawn("slow", func(p *vtime.Proc) {
+		slow = e.Transfer(p, Spec{Name: "slow", Demand: 10 * MB, Bytes: 10e6, Route: Path(ClassDMA, r)})
+	})
+	s.Spawn("fast", func(p *vtime.Proc) {
+		fast = e.Transfer(p, Spec{Name: "fast", Demand: 1000 * MB, Bytes: 30e6, Route: Path(ClassDMA, r)})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(slow.Seconds(), 1.0, 1e-6) {
+		t.Errorf("slow = %v, want 1s", slow)
+	}
+	if !almostEqual(fast.Seconds(), 1.0, 1e-6) {
+		t.Errorf("fast = %v, want 1s (30 MB at leftover 30 MB/s)", fast)
+	}
+}
+
+func TestStaggeredFlowsPiecewiseRates(t *testing.T) {
+	// Flow A (60 MB on a 60 MB/s bus) runs alone for 0.5 s (30 MB done),
+	// then shares with B for a while, then finishes alone.
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", 60*MB, nil)
+	var aDone, bDone vtime.Time
+	s.Spawn("a", func(p *vtime.Proc) {
+		e.Transfer(p, Spec{Name: "a", Demand: 1000 * MB, Bytes: 60e6, Route: Path(ClassDMA, r)})
+		aDone = p.Now()
+	})
+	s.Spawn("b", func(p *vtime.Proc) {
+		p.Sleep(vtime.Duration(0.5 * float64(vtime.Second)))
+		e.Transfer(p, Spec{Name: "b", Demand: 1000 * MB, Bytes: 15e6, Route: Path(ClassDMA, r)})
+		bDone = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// From 0.5s both run at 30 MB/s. B needs 15 MB -> done at 1.0s.
+	// A: 30 MB by 0.5s, +15 MB by 1.0s, remaining 15 MB alone at 60 MB/s
+	// -> done at 1.25s.
+	if !almostEqual(vtime.Duration(bDone).Seconds(), 1.0, 1e-6) {
+		t.Errorf("b done at %v, want 1s", bDone)
+	}
+	if !almostEqual(vtime.Duration(aDone).Seconds(), 1.25, 1e-6) {
+		t.Errorf("a done at %v, want 1.25s", aDone)
+	}
+}
+
+func TestMultiResourceRouteBottleneck(t *testing.T) {
+	// Route through a fast bus and a slow wire: the wire limits the rate.
+	s := vtime.New()
+	e := NewEngine(s)
+	bus := e.NewResource("bus", 100*MB, nil)
+	wire := e.NewResource("wire", 10*MB, nil)
+	var d vtime.Duration
+	s.Spawn("x", func(p *vtime.Proc) {
+		d = e.Transfer(p, Spec{Name: "x", Demand: 1000 * MB, Bytes: 10e6, Route: Path(ClassDMA, bus, wire)})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d.Seconds(), 1.0, 1e-6) {
+		t.Errorf("duration = %v, want 1s", d)
+	}
+}
+
+func TestPIOHalvedUnderDMA(t *testing.T) {
+	// The paper's §3.4 PCI arbitration: while a DMA flow is active, PIO
+	// demand is halved. Encoded as an Adjust policy.
+	pioUnderDMA := func(self Presence, active []Presence) float64 {
+		if self.Class != ClassPIO {
+			return 1
+		}
+		for _, g := range active {
+			if g.Class == ClassDMA {
+				return 0.5
+			}
+		}
+		return 1
+	}
+	s := vtime.New()
+	e := NewEngine(s)
+	bus := e.NewResource("pci", 132*MB, pioUnderDMA)
+	var pioAlone, pioShared vtime.Duration
+	s.Spawn("pio-alone", func(p *vtime.Proc) {
+		pioAlone = e.Transfer(p, Spec{Name: "pio1", Class: ClassPIO, Demand: 40 * MB, Bytes: 40e6, Route: Path(ClassPIO, bus)})
+	})
+	s.Spawn("pio-shared", func(p *vtime.Proc) {
+		p.Sleep(2 * vtime.Second)
+		// Start a long DMA receive, then a PIO send that fully overlaps it.
+		e.Start(Spec{Name: "dma", Class: ClassDMA, Demand: 50 * MB, Bytes: 500e6, Route: Path(ClassDMA, bus)}, nil)
+		pioShared = e.Transfer(p, Spec{Name: "pio2", Class: ClassPIO, Demand: 40 * MB, Bytes: 40e6, Route: Path(ClassPIO, bus)})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pioAlone.Seconds(), 1.0, 1e-6) {
+		t.Errorf("PIO alone = %v, want 1s", pioAlone)
+	}
+	if !almostEqual(pioShared.Seconds(), 2.0, 1e-6) {
+		t.Errorf("PIO under DMA = %v, want 2s (halved)", pioShared)
+	}
+}
+
+func TestAdjustRestoredWhenDMAEnds(t *testing.T) {
+	pioUnderDMA := func(self Presence, active []Presence) float64 {
+		if self.Class != ClassPIO {
+			return 1
+		}
+		for _, g := range active {
+			if g.Class == ClassDMA {
+				return 0.5
+			}
+		}
+		return 1
+	}
+	s := vtime.New()
+	e := NewEngine(s)
+	bus := e.NewResource("pci", 132*MB, pioUnderDMA)
+	var pio vtime.Duration
+	s.Spawn("main", func(p *vtime.Proc) {
+		// DMA lasts 1s (50 MB at 50 MB/s). PIO sends 60 MB: 1s at
+		// 20 MB/s (halved) = 20 MB, then 1s at full 40 MB/s = 40 MB.
+		e.Start(Spec{Name: "dma", Class: ClassDMA, Demand: 50 * MB, Bytes: 50e6, Route: Path(ClassDMA, bus)}, nil)
+		pio = e.Transfer(p, Spec{Name: "pio", Class: ClassPIO, Demand: 40 * MB, Bytes: 60e6, Route: Path(ClassPIO, bus)})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pio.Seconds(), 2.0, 1e-5) {
+		t.Errorf("PIO = %v, want 2s", pio)
+	}
+}
+
+func TestStartCallback(t *testing.T) {
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", 10*MB, nil)
+	var doneAt vtime.Time
+	e.Start(Spec{Name: "bg", Class: ClassDMA, Demand: 100 * MB, Bytes: 10e6, Route: Path(ClassDMA, r)}, func() {
+		doneAt = s.Now()
+	})
+	s.Spawn("idle", func(p *vtime.Proc) { p.Sleep(5 * vtime.Second) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vtime.Duration(doneAt).Seconds(), 1.0, 1e-6) {
+		t.Errorf("callback at %v, want 1s", doneAt)
+	}
+}
+
+func TestBytesServedConservation(t *testing.T) {
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", 25*MB, nil)
+	total := int64(0)
+	for i := 0; i < 5; i++ {
+		n := int64((i + 1) * 1e6)
+		total += n
+		delay := vtime.Duration(i) * 100 * vtime.Millisecond
+		s.Spawn(fmt.Sprintf("x%d", i), func(p *vtime.Proc) {
+			p.Sleep(delay)
+			e.Transfer(p, Spec{Name: "x", Demand: 100 * MB, Bytes: n, Route: Path(ClassDMA, r)})
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.BytesServed(), float64(total), 1.0) {
+		t.Errorf("served = %.1f, want %d", r.BytesServed(), total)
+	}
+	if e.ActiveFlows() != 0 || r.ActiveFlows() != 0 {
+		t.Errorf("flows not drained: engine=%d resource=%d", e.ActiveFlows(), r.ActiveFlows())
+	}
+}
+
+func TestPanicsOnBadSpecs(t *testing.T) {
+	s := vtime.New()
+	e := NewEngine(s)
+	r := e.NewResource("bus", MB, nil)
+	for name, spec := range map[string]Spec{
+		"no demand": {Name: "x", Bytes: 1, Route: Path(ClassDMA, r)},
+		"no route":  {Name: "x", Demand: 1, Bytes: 1},
+		"negative":  {Name: "x", Demand: 1, Bytes: -1, Route: Path(ClassDMA, r)},
+	} {
+		spec := spec
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			e.Start(spec, nil)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for zero-capacity resource")
+			}
+		}()
+		e.NewResource("bad", 0, nil)
+	}()
+}
+
+// Property: for any set of flows on one resource, total bytes served equals
+// the sum of flow sizes, and every flow finishes no earlier than its
+// exclusive-use lower bound.
+func TestConservationProperty(t *testing.T) {
+	f := func(sizes []uint32, startGaps []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 10 {
+			sizes = sizes[:10]
+		}
+		s := vtime.New()
+		e := NewEngine(s)
+		const cap = 50 * MB
+		r := e.NewResource("bus", cap, nil)
+		var total float64
+		ok := true
+		for i, raw := range sizes {
+			n := int64(raw%8_000_000) + 1
+			total += float64(n)
+			var gap vtime.Duration
+			if i < len(startGaps) {
+				gap = vtime.Duration(startGaps[i]) * vtime.Microsecond
+			}
+			s.Spawn(fmt.Sprintf("f%d", i), func(p *vtime.Proc) {
+				p.Sleep(gap)
+				d := e.Transfer(p, Spec{Name: "f", Demand: 100 * MB, Bytes: n, Route: Path(ClassDMA, r)})
+				if d.Seconds() < float64(n)/cap-1e-6 {
+					ok = false // finished faster than the physical limit
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok && almostEqual(r.BytesServed(), total, 1.0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassDMA.String() != "DMA" || ClassPIO.String() != "PIO" || ClassWire.String() != "wire" || ClassCPU.String() != "CPU" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() != "class(99)" {
+		t.Error("unknown class formatting wrong")
+	}
+}

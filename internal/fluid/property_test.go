@@ -1,0 +1,146 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"madgo/internal/vtime"
+)
+
+// These properties pin down the allocator the whole hardware model rests
+// on: at every instant, (1) no resource runs above its capacity, (2) no
+// flow runs above its demand, and (3) the allocation is max-min fair — a
+// flow below its demand is bottlenecked at some resource where no
+// concurrent flow holds a strictly higher rate.
+
+type probeCfg struct {
+	resources []float64 // capacities, MB/s
+	flows     []probeFlow
+}
+
+type probeFlow struct {
+	demand float64
+	bytes  int64
+	route  []int // resource indices
+	start  vtime.Duration
+}
+
+// buildProbe constructs a deterministic random configuration from a seed.
+func buildProbe(seed uint64) probeCfg {
+	rng := seed*2654435761 + 12345
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	cfg := probeCfg{}
+	nres := 2 + int(next(3))
+	for i := 0; i < nres; i++ {
+		cfg.resources = append(cfg.resources, float64(20+next(100))*1e6)
+	}
+	nflows := 2 + int(next(5))
+	for i := 0; i < nflows; i++ {
+		var route []int
+		for r := 0; r < nres; r++ {
+			if next(2) == 0 {
+				route = append(route, r)
+			}
+		}
+		if len(route) == 0 {
+			route = []int{int(next(uint64(nres)))}
+		}
+		cfg.flows = append(cfg.flows, probeFlow{
+			demand: float64(5+next(80)) * 1e6,
+			bytes:  int64(1+next(40)) * 1e5,
+			route:  route,
+			start:  vtime.Duration(next(20)) * vtime.Millisecond,
+		})
+	}
+	return cfg
+}
+
+func TestMaxMinInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := buildProbe(seed)
+		s := vtime.New()
+		e := NewEngine(s)
+		res := make([]*Resource, len(cfg.resources))
+		for i, c := range cfg.resources {
+			res[i] = e.NewResource("r", c, nil)
+		}
+		flows := make([]*Flow, len(cfg.flows))
+		for i, pf := range cfg.flows {
+			i, pf := i, pf
+			route := make([]Hop, len(pf.route))
+			for k, ri := range pf.route {
+				route[k] = Hop{R: res[ri], Class: ClassDMA}
+			}
+			s.After(pf.start, func() {
+				flows[i] = e.Start(Spec{Name: "f", Class: ClassDMA, Demand: pf.demand, Bytes: pf.bytes, Route: route}, nil)
+			})
+		}
+		// Probe the invariants at fixed instants while flows overlap.
+		ok := true
+		probe := func() {
+			// (1) capacity
+			for ri, r := range res {
+				sum := 0.0
+				for _, pres := range r.flows {
+					sum += pres.Flow.Rate()
+				}
+				if sum > cfg.resources[ri]*(1+1e-9) {
+					ok = false
+				}
+			}
+			// (2) demand and (3) max-min bottleneck
+			for fi, f := range flows {
+				if f == nil || f.Remaining() <= 0 {
+					continue
+				}
+				if f.Rate() > cfg.flows[fi].demand*(1+1e-9) {
+					ok = false
+				}
+				if f.Rate() >= cfg.flows[fi].demand*(1-1e-9) {
+					continue // demand-limited: fine
+				}
+				// Must be bottlenecked somewhere: a resource on its
+				// route that is (nearly) saturated and where f's
+				// rate is maximal among its flows.
+				bottleneck := false
+				for _, h := range f.route {
+					sum := 0.0
+					maxRate := 0.0
+					for _, pres := range h.R.flows {
+						sum += pres.Flow.Rate()
+						maxRate = math.Max(maxRate, pres.Flow.Rate())
+					}
+					if sum >= h.R.capacity*(1-1e-6) && f.Rate() >= maxRate*(1-1e-9) {
+						bottleneck = true
+						break
+					}
+				}
+				if !bottleneck {
+					ok = false
+				}
+			}
+		}
+		for ms := 1; ms <= 40; ms += 4 {
+			s.After(vtime.Duration(ms)*vtime.Millisecond, probe)
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		// (4) conservation: every flow completed in full.
+		for _, f := range flows {
+			if f != nil && f.Remaining() != 0 {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

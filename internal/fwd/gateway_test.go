@@ -1,0 +1,155 @@
+package fwd_test
+
+import (
+	"bytes"
+	"testing"
+
+	"madgo/internal/fwd"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/trace"
+	"madgo/internal/vtime"
+)
+
+// chainTopo is a three-network chain with two gateways.
+func chainTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewBuilder().
+		Network("n1", "sci").Network("n2", "myrinet").Network("n3", "sci").
+		Node("a", "n1").
+		Node("g1", "n1", "n2").
+		Node("g2", "n2", "n3").
+		Node("c", "n3").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// TestMessageToSecondGatewayAsFinalDestination is §2.2.2's disambiguation
+// argument: a message whose final destination IS a gateway must arrive on a
+// regular channel and be delivered to that gateway's application, not
+// re-forwarded.
+func TestMessageToSecondGatewayAsFinalDestination(t *testing.T) {
+	w := build(t, chainTopo(t), fwd.DefaultConfig())
+	blocks := []block{{pattern(70_000, 5), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, fwded, from := sendRecv(t, w, "a", "g2", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("payload corrupted")
+	}
+	if !fwded {
+		t.Error("a→g2 crosses g1: must be forwarded")
+	}
+	if from != w.vc.NodeRank("a") {
+		t.Errorf("From = %d", from)
+	}
+	if n := w.vc.Gateway("g1").Messages(); n != 1 {
+		t.Errorf("g1 relayed %d", n)
+	}
+	if n := w.vc.Gateway("g2").Messages(); n != 0 {
+		t.Errorf("g2's engine relayed %d — the message was for g2's application", n)
+	}
+}
+
+// TestGatewayAsSourceAcrossAnotherGateway: a gateway's own application
+// sends a message that must cross the other gateway.
+func TestGatewayAsSourceAcrossAnotherGateway(t *testing.T) {
+	w := build(t, chainTopo(t), fwd.DefaultConfig())
+	blocks := []block{{pattern(40_000, 6), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, fwded, _ := sendRecv(t, w, "g1", "c", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("payload corrupted")
+	}
+	if !fwded {
+		t.Error("g1→c crosses g2: must be forwarded")
+	}
+	if n := w.vc.Gateway("g2").Messages(); n != 1 {
+		t.Errorf("g2 relayed %d", n)
+	}
+	if n := w.vc.Gateway("g1").Messages(); n != 0 {
+		t.Errorf("g1's engine relayed %d for its own send", n)
+	}
+}
+
+// TestSlotModeTraceActors: with a static-buffer ingress and dynamic egress
+// the pipeline runs in slot-handoff mode; the trace must still show both
+// lanes and the relay must be copy-free at the gateway.
+func TestSlotModeTracedAndCopyFree(t *testing.T) {
+	tr := trace.New()
+	cfg := fwd.DefaultConfig()
+	cfg.Tracer = tr
+	w := build(t, sbpTopo(t, "sbp", "myrinet"), cfg)
+	blocks := []block{{pattern(200_000, 7), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, _, _ := sendRecv(t, w, "a", "b", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Fatal("payload corrupted")
+	}
+	if copied := w.sess.NodeByName("g").Host.BytesCopied(); copied > 64 {
+		t.Errorf("slot-mode gateway copied %d bytes", copied)
+	}
+	if len(tr.ByActor("g:recv:n1")) == 0 || len(tr.ByActor("g:send:n2")) == 0 {
+		t.Errorf("trace lanes missing: %v", tr.Actors())
+	}
+}
+
+// TestPipelineDepthOneStillCorrect: the no-pipelining ablation must remain
+// functionally correct, just slower.
+func TestPipelineDepthOneStillCorrect(t *testing.T) {
+	cfg := fwd.DefaultConfig()
+	cfg.PipelineDepth = 1
+	w := build(t, paperHS(t), cfg)
+	blocks := []block{
+		{pattern(4, 1), mad.SendCheaper, mad.ReceiveExpress},
+		{pattern(123_456, 2), mad.SendCheaper, mad.ReceiveCheaper},
+	}
+	got, _, _ := sendRecv(t, w, "a0", "b1", blocks)
+	for i := range blocks {
+		if !bytes.Equal(got[i], blocks[i].data) {
+			t.Errorf("block %d corrupted", i)
+		}
+	}
+}
+
+// TestInterleavedOppositeStreams runs long streams in both directions at
+// once and checks both payloads and the PCI asymmetry: the SCI→Myrinet
+// stream must finish first.
+func TestInterleavedOppositeStreams(t *testing.T) {
+	w := build(t, paperHS(t), fwd.DefaultConfig())
+	const n = 1 << 20
+	var doneS2M, doneM2S vtime.Time
+	launch := func(src, dst string, seed byte, done *vtime.Time) {
+		data := pattern(n, seed)
+		w.sim.Spawn("s:"+src, func(p *vtime.Proc) {
+			px := w.vc.At(src).BeginPacking(p, dst)
+			px.Pack(p, data, mad.SendCheaper, mad.ReceiveCheaper)
+			px.EndPacking(p)
+		})
+		w.sim.Spawn("r:"+dst, func(p *vtime.Proc) {
+			u := w.vc.At(dst).BeginUnpacking(p)
+			got := make([]byte, n)
+			u.Unpack(p, got, mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+			if !bytes.Equal(got, data) {
+				t.Errorf("%s->%s corrupted", src, dst)
+			}
+			*done = p.Now()
+		})
+	}
+	launch("a0", "b0", 1, &doneS2M)
+	launch("b1", "a1", 2, &doneM2S)
+	if err := w.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneS2M >= doneM2S {
+		t.Errorf("SCI→Myrinet (%v) should beat Myrinet→SCI (%v): the Figure 6/7 asymmetry",
+			doneS2M, doneM2S)
+	}
+}
+
+func TestSuggestedConfigDefaults(t *testing.T) {
+	cfg := fwd.DefaultConfig()
+	if cfg.MTU != 32*1024 || cfg.PipelineDepth != 2 || !cfg.ZeroCopy || cfg.InflowLimit != 0 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

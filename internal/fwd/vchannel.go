@@ -1,0 +1,371 @@
+package fwd
+
+import (
+	"fmt"
+
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/route"
+	"madgo/internal/topo"
+	"madgo/internal/trace"
+	"madgo/internal/vtime"
+	"madgo/internal/vtime/vsync"
+)
+
+// Config tunes the forwarding machinery. The defaults reproduce the paper's
+// setup; the ablation benchmarks flip individual knobs.
+type Config struct {
+	// MTU is the GTM packet size — "an appropriate paquet size can be
+	// chosen at compile time because the network configuration is
+	// statically configured" (§2.3). The paper's analysis points at the
+	// 16 KB SCI/Myrinet crossover; its figures sweep 8–128 KB.
+	MTU int
+	// PipelineDepth is the number of buffers each gateway forwarder
+	// rotates. The paper uses two (one receiving, one sending); one
+	// disables pipelining (ablation A3).
+	PipelineDepth int
+	// ZeroCopy enables the §2.3 buffer election on gateways. When false
+	// every relayed packet pays an explicit staging copy (ablation A3).
+	ZeroCopy bool
+	// InflowLimit, when positive (bytes/s), throttles each gateway
+	// forwarder's receive loop to that rate — the "sophisticated
+	// bandwidth control mechanism [to] regulate the incoming
+	// communication flow on gateways" the paper's conclusion calls for
+	// (ablation A4).
+	InflowLimit float64
+	// Tracer, when non-nil, records gateway pipeline spans for the
+	// Figure 5/8 timelines.
+	Tracer *trace.Tracer
+}
+
+// DefaultConfig returns the paper's forwarding configuration with a 32 KB
+// MTU.
+func DefaultConfig() Config {
+	return Config{MTU: 32 * 1024, PipelineDepth: 2, ZeroCopy: true}
+}
+
+func (c Config) validate() error {
+	if c.MTU <= 0 {
+		return fmt.Errorf("fwd: MTU must be positive, got %d", c.MTU)
+	}
+	if c.PipelineDepth < 1 {
+		return fmt.Errorf("fwd: PipelineDepth must be at least 1, got %d", c.PipelineDepth)
+	}
+	if c.InflowLimit < 0 {
+		return fmt.Errorf("fwd: negative InflowLimit")
+	}
+	return nil
+}
+
+// Binding ties a topology network to its simulated fabric and protocol
+// driver.
+type Binding struct {
+	Net *hw.Network
+	Drv mad.Driver
+}
+
+// incoming is an announced message on one of a node's regular channels,
+// funnelled into the node's merged arrival queue by its polling threads.
+type incoming struct {
+	ep *mad.Endpoint
+	a  *mad.Arrival
+}
+
+// VirtualChannel is the user-facing communication object of §2.2.1:
+// "instead of simply creating a channel using a network protocol, we now
+// create a virtual channel that includes a set of real channels".
+type VirtualChannel struct {
+	Name string
+
+	sess *mad.Session
+	tp   *topo.Topology
+	tbl  *route.Table
+	cfg  Config
+
+	regular map[string]*mad.Channel // per network name
+	special map[string]*mad.Channel // only for networks crossed mid-route
+	nodes   map[string]*mad.Node
+	merged  map[mad.Rank]*vsync.Chan[incoming]
+	gates   map[string]*Gateway
+}
+
+// Build creates the nodes, real channels, routing table and gateway engines
+// of a virtual channel over the given topology. The session must be empty:
+// the virtual channel owns the node set. Bindings must cover every network
+// of the topology.
+func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cfg Config) (*VirtualChannel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(sess.Nodes()) != 0 {
+		return nil, fmt.Errorf("fwd: session already has nodes; Build owns node creation")
+	}
+	for _, nw := range tp.Networks() {
+		if _, ok := bindings[nw.Name]; !ok {
+			return nil, fmt.Errorf("fwd: no binding for network %s", nw.Name)
+		}
+	}
+
+	vc := &VirtualChannel{
+		Name:    "vchan",
+		sess:    sess,
+		tp:      tp,
+		cfg:     cfg,
+		regular: make(map[string]*mad.Channel),
+		special: make(map[string]*mad.Channel),
+		nodes:   make(map[string]*mad.Node),
+		merged:  make(map[mad.Rank]*vsync.Chan[incoming]),
+		gates:   make(map[string]*Gateway),
+	}
+	for _, n := range tp.Nodes() {
+		vc.nodes[n.Name] = sess.AddNode(n.Name)
+	}
+	vc.tbl = route.Compute(tp)
+
+	// Regular channels: one per network over all attached nodes.
+	for _, nw := range tp.Networks() {
+		b := bindings[nw.Name]
+		members := make([]*mad.Node, len(nw.Members))
+		for i, m := range nw.Members {
+			members[i] = vc.nodes[m]
+		}
+		vc.regular[nw.Name] = sess.NewChannel("reg:"+nw.Name, b.Net, b.Drv, members...)
+	}
+
+	// Special channels exist on every network some route crosses on a
+	// non-final hop; gateway engines on every node some route relays
+	// through.
+	specialNets := make(map[string]bool)
+	gateways := make(map[string]bool)
+	names := tp.NodeNames()
+	for _, src := range names {
+		for _, dst := range names {
+			if src == dst {
+				continue
+			}
+			r, ok := vc.tbl.Lookup(src, dst)
+			if !ok {
+				return nil, fmt.Errorf("fwd: no route %s -> %s", src, dst)
+			}
+			for i, hop := range r {
+				if i < len(r)-1 {
+					specialNets[hop.Network] = true
+					gateways[hop.To] = true
+				}
+			}
+		}
+	}
+	for _, nw := range tp.Networks() {
+		if !specialNets[nw.Name] {
+			continue
+		}
+		b := bindings[nw.Name]
+		members := make([]*mad.Node, len(nw.Members))
+		for i, m := range nw.Members {
+			members[i] = vc.nodes[m]
+		}
+		vc.special[nw.Name] = sess.NewChannel("spc:"+nw.Name, b.Net, b.Drv, members...)
+	}
+
+	// Per-node merged arrival queues fed by one polling thread per
+	// (node, regular channel) — "a polling mechanism ... to poll multiple
+	// networks at the same time" (§2.2.2).
+	sim := sess.Platform.Sim
+	for _, n := range tp.Nodes() {
+		node := vc.nodes[n.Name]
+		q := vsync.NewChan[incoming](fmt.Sprintf("merged:%s", n.Name), 4096)
+		vc.merged[node.Rank] = q
+		for _, nwName := range n.Networks {
+			ep := vc.regular[nwName].At(node)
+			sim.SpawnDaemon(fmt.Sprintf("poll:%s:%s", n.Name, nwName), func(p *vtime.Proc) {
+				for {
+					a := ep.WaitArrival(p)
+					q.Send(p, incoming{ep: ep, a: a})
+				}
+			})
+		}
+	}
+
+	// Gateway engines.
+	for name := range gateways {
+		vc.gates[name] = newGateway(vc, vc.nodes[name])
+	}
+	for _, g := range vc.gates {
+		g.start()
+	}
+	return vc, nil
+}
+
+// Session returns the underlying Madeleine session.
+func (vc *VirtualChannel) Session() *mad.Session { return vc.sess }
+
+// Table returns the routing table.
+func (vc *VirtualChannel) Table() *route.Table { return vc.tbl }
+
+// Config returns the forwarding configuration.
+func (vc *VirtualChannel) Config() Config { return vc.cfg }
+
+// Gateways returns the names of the nodes running forwarding engines,
+// sorted by name in the routing table's sense.
+func (vc *VirtualChannel) Gateways() []string {
+	var out []string
+	for name := range vc.gates {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// NodeRank returns the session rank of a topology node.
+func (vc *VirtualChannel) NodeRank(name string) mad.Rank {
+	n, ok := vc.nodes[name]
+	if !ok {
+		panic("fwd: unknown node " + name)
+	}
+	return n.Rank
+}
+
+// Endpoint is a virtual channel as seen from one node.
+type Endpoint struct {
+	vc   *VirtualChannel
+	node *mad.Node
+}
+
+// At returns the endpoint of the named node.
+func (vc *VirtualChannel) At(name string) *Endpoint {
+	n, ok := vc.nodes[name]
+	if !ok {
+		panic("fwd: unknown node " + name)
+	}
+	return &Endpoint{vc: vc, node: n}
+}
+
+// Node returns the endpoint's session node.
+func (e *Endpoint) Node() *mad.Node { return e.node }
+
+// Packing is an outgoing message on a virtual channel. Depending on the
+// route it is either a plain Madeleine message on the regular channel or a
+// self-described GTM message on the special channel toward the first
+// gateway; the application cannot tell the difference.
+type Packing struct {
+	plain *mad.Packing
+	gtm   *gtmPacking
+	ended bool
+}
+
+// BeginPacking starts a message to the named destination, choosing "the
+// appropriate underlying real channel ... dynamically depending whether it
+// is necessary to forward the message through a gateway or not" (§2.2.1).
+func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
+	if dst == e.node.Name {
+		panic("fwd: message to self on " + dst)
+	}
+	r, ok := e.vc.tbl.Lookup(e.node.Name, dst)
+	if !ok {
+		panic(fmt.Sprintf("fwd: no route %s -> %s", e.node.Name, dst))
+	}
+	hop := r[0]
+	if r.Direct() {
+		ep := e.vc.regular[hop.Network].At(e.node)
+		return &Packing{plain: ep.BeginPacking(p, e.vc.NodeRank(dst))}
+	}
+	spc, ok := e.vc.special[hop.Network]
+	if !ok {
+		panic("fwd: route crosses network without a special channel: " + hop.Network)
+	}
+	link := spc.Link(e.node.Rank, e.vc.NodeRank(hop.To))
+	return &Packing{gtm: newGTMPacking(p, e.vc, e.node, link, e.vc.NodeRank(dst))}
+}
+
+// Pack appends one block, as in the mad layer.
+func (px *Packing) Pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMode) {
+	if px.ended {
+		panic("fwd: Pack after EndPacking")
+	}
+	if px.plain != nil {
+		px.plain.Pack(p, data, s, r)
+		return
+	}
+	px.gtm.pack(p, data, s, r)
+}
+
+// EndPacking completes the message.
+func (px *Packing) EndPacking(p *vtime.Proc) {
+	if px.ended {
+		panic("fwd: double EndPacking")
+	}
+	px.ended = true
+	if px.plain != nil {
+		px.plain.EndPacking(p)
+		return
+	}
+	px.gtm.end(p)
+}
+
+// Unpacking is an incoming message on a virtual channel.
+type Unpacking struct {
+	plain *mad.Unpacking
+	gtm   *gtmUnpacking
+	from  mad.Rank
+	fwd   bool
+	ended bool
+}
+
+// BeginUnpacking blocks until a message arrives on any of the node's
+// regular channels and opens it with the module its arrival note selects —
+// "to be able to chose between a regular Transmission Module and the
+// Generic one, it needs some additional information ... transmitted before
+// the actual message body" (§2.2.2).
+func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
+	p.Sleep(e.node.Host.CPU.PollCost)
+	in, ok := e.vc.merged[e.node.Rank].Recv(p)
+	if !ok {
+		panic("fwd: merged arrival queue closed")
+	}
+	if in.a.Kind() == mad.KindGTM {
+		g := newGTMUnpacking(p, e.vc, e.node, in.a)
+		return &Unpacking{gtm: g, from: g.from, fwd: true}
+	}
+	u := in.ep.Open(p, in.a)
+	return &Unpacking{plain: u, from: u.From()}
+}
+
+// From returns the rank of the message's original sender, even across
+// gateways.
+func (u *Unpacking) From() mad.Rank { return u.from }
+
+// Forwarded reports whether the message crossed at least one gateway.
+func (u *Unpacking) Forwarded() bool { return u.fwd }
+
+// Unpack extracts the next block, mirroring the sender's Pack exactly.
+func (u *Unpacking) Unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.RecvMode) {
+	if u.ended {
+		panic("fwd: Unpack after EndUnpacking")
+	}
+	if u.plain != nil {
+		u.plain.Unpack(p, dst, s, r)
+		return
+	}
+	u.gtm.unpack(p, dst, s, r)
+}
+
+// EndUnpacking completes the message.
+func (u *Unpacking) EndUnpacking(p *vtime.Proc) {
+	if u.ended {
+		panic("fwd: double EndUnpacking")
+	}
+	u.ended = true
+	if u.plain != nil {
+		u.plain.EndUnpacking(p)
+		return
+	}
+	u.gtm.end(p)
+}

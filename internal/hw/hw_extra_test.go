@@ -1,0 +1,98 @@
+package hw
+
+import (
+	"testing"
+
+	"madgo/internal/fluid"
+	"madgo/internal/vtime"
+)
+
+func TestNegativeMemcpyPanics(t *testing.T) {
+	pl := NewPlatform(vtime.New())
+	h := pl.NewHost("x", DefaultCPU(), DefaultPCI())
+	pl.Sim.Spawn("p", func(p *vtime.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		h.Memcpy(p, -1)
+	})
+	if err := pl.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroByteMemcpyIsFreeButCounted(t *testing.T) {
+	pl := NewPlatform(vtime.New())
+	h := pl.NewHost("x", DefaultCPU(), DefaultPCI())
+	pl.Sim.Spawn("p", func(p *vtime.Proc) {
+		t0 := p.Now()
+		h.Memcpy(p, 0)
+		if p.Now() != t0 {
+			t.Error("zero-byte memcpy took time")
+		}
+	})
+	if err := pl.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Copies() != 1 || h.BytesCopied() != 0 {
+		t.Errorf("counters = %d/%d", h.Copies(), h.BytesCopied())
+	}
+}
+
+func TestSCIDMAModel(t *testing.T) {
+	pio, dma := SCI(), SCIDMA()
+	if dma.SendBusClass != fluid.ClassDMA {
+		t.Error("DMA mode must present DMA transactions")
+	}
+	if dma.SendEngineRate >= pio.SendEngineRate {
+		t.Error("the D310 DMA engine is slower than write-combined PIO")
+	}
+	if dma.SendOverhead <= pio.SendOverhead {
+		t.Error("DMA descriptor setup costs more than a PIO store")
+	}
+	if dma.WCChunk != 0 || dma.SmallWriteRate != 0 {
+		t.Error("write combining does not apply to the DMA engine")
+	}
+	// Receive side is unchanged: remote writes still land as DMA.
+	if dma.RecvBusClass != pio.RecvBusClass || dma.RecvEngineRate != pio.RecvEngineRate {
+		t.Error("DMA mode must not alter the receive path")
+	}
+}
+
+func TestPCIPolicyLeavesDMAAlone(t *testing.T) {
+	// Two concurrent DMA flows share fairly — the policy demotes only
+	// PIO (fig6's full-duplex case is capacity-, not priority-, bound).
+	sim := vtime.New()
+	pl := NewPlatform(sim)
+	h := pl.NewHost("gw", DefaultCPU(), DefaultPCI())
+	var d1, d2 vtime.Duration
+	sim.Spawn("a", func(p *vtime.Proc) {
+		d1 = pl.Engine.Transfer(p, fluid.Spec{
+			Name: "in", Demand: 45 * MB, Bytes: 45e6, Route: fluid.Path(fluid.ClassDMA, h.Bus)})
+	})
+	sim.Spawn("b", func(p *vtime.Proc) {
+		d2 = pl.Engine.Transfer(p, fluid.Spec{
+			Name: "out", Demand: 45 * MB, Bytes: 45e6, Route: fluid.Path(fluid.ClassDMA, h.Bus)})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 90 MB/s aggregate, two 45 MB/s demands: both finish in ≈1 s.
+	for _, d := range []vtime.Duration{d1, d2} {
+		if s := d.Seconds(); s < 0.99 || s > 1.05 {
+			t.Errorf("DMA flow took %v, want ≈1s", d)
+		}
+	}
+}
+
+func TestWriteCombiningBoundary(t *testing.T) {
+	sci := SCI()
+	if sci.EffectiveSendRate(sci.WCChunk-1) != sci.SmallWriteRate {
+		t.Error("sub-chunk writes must use the slow rate")
+	}
+	if sci.EffectiveSendRate(sci.WCChunk) != sci.SendEngineRate {
+		t.Error("chunk-sized writes must combine")
+	}
+}

@@ -1,0 +1,168 @@
+package mad_test
+
+import (
+	"bytes"
+	"testing"
+
+	"madgo/internal/drivers/loopback"
+	"madgo/internal/mad"
+	"madgo/internal/vtime"
+)
+
+func TestWaitArrivalAndOpen(t *testing.T) {
+	pr := newPair(loopback.New())
+	pr.sim.Spawn("send", func(p *vtime.Proc) {
+		px := pr.ch.At(pr.a).BeginPacking(p, pr.b.Rank)
+		px.Pack(p, []byte{7}, mad.SendCheaper, mad.ReceiveExpress)
+		px.EndPacking(p)
+	})
+	pr.sim.Spawn("recv", func(p *vtime.Proc) {
+		ep := pr.ch.At(pr.b)
+		a := ep.WaitArrival(p)
+		if a.From() != pr.a.Rank {
+			t.Errorf("From = %d", a.From())
+		}
+		if a.Kind() != mad.KindPlain {
+			t.Errorf("Kind = %v", a.Kind())
+		}
+		u := ep.Open(p, a)
+		got := make([]byte, 1)
+		u.Unpack(p, got, mad.SendCheaper, mad.ReceiveExpress)
+		u.EndUnpacking(p)
+		if got[0] != 7 {
+			t.Error("payload wrong")
+		}
+	})
+	pr.run(t)
+}
+
+func TestTryArrival(t *testing.T) {
+	pr := newPair(loopback.New())
+	pr.sim.Spawn("recv", func(p *vtime.Proc) {
+		ep := pr.ch.At(pr.b)
+		if _, ok := ep.TryArrival(); ok {
+			t.Error("arrival before any send")
+		}
+		p.Sleep(vtime.Millisecond)
+		a, ok := ep.TryArrival()
+		if !ok {
+			t.Fatal("no arrival after send completed")
+		}
+		u := ep.Open(p, a)
+		u.Unpack(p, make([]byte, 3), mad.SendCheaper, mad.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	pr.sim.Spawn("send", func(p *vtime.Proc) {
+		px := pr.ch.At(pr.a).BeginPacking(p, pr.b.Rank)
+		px.Pack(p, []byte{1, 2, 3}, mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	pr.run(t)
+}
+
+func TestKindNoteTravelsAhead(t *testing.T) {
+	// The arrival announcement carries the message kind before any body
+	// is unpacked — the §2.2.2 "additional information".
+	pr := newPair(loopback.New())
+	pr.sim.Spawn("send", func(p *vtime.Proc) {
+		px := pr.ch.At(pr.a).BeginPackingKind(p, pr.b.Rank, mad.KindGTM)
+		px.Pack(p, []byte{1}, mad.SendCheaper, mad.ReceiveExpress)
+		px.EndPacking(p)
+	})
+	pr.sim.Spawn("recv", func(p *vtime.Proc) {
+		a := pr.ch.At(pr.b).WaitArrival(p)
+		if a.Kind() != mad.KindGTM {
+			t.Errorf("Kind = %v, want gtm", a.Kind())
+		}
+		u := pr.ch.At(pr.b).Open(p, a)
+		u.Unpack(p, make([]byte, 1), mad.SendCheaper, mad.ReceiveExpress)
+		u.EndUnpacking(p)
+	})
+	pr.run(t)
+}
+
+func TestMisusePanics(t *testing.T) {
+	cases := map[string]func(p *vtime.Proc, pr *pair){
+		"pack after end": func(p *vtime.Proc, pr *pair) {
+			px := pr.ch.At(pr.a).BeginPacking(p, pr.b.Rank)
+			px.EndPacking(p)
+			px.Pack(p, []byte{1}, mad.SendCheaper, mad.ReceiveCheaper)
+		},
+		"double end packing": func(p *vtime.Proc, pr *pair) {
+			px := pr.ch.At(pr.a).BeginPacking(p, pr.b.Rank)
+			px.EndPacking(p)
+			px.EndPacking(p)
+		},
+	}
+	for name, fn := range cases {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			pr := newPair(loopback.New())
+			pr.sim.Spawn("offender", func(p *vtime.Proc) {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: expected panic", name)
+					}
+				}()
+				fn(p, pr)
+			})
+			_ = pr.sim.Run()
+		})
+	}
+}
+
+func TestUnpackMisusePanics(t *testing.T) {
+	pr := newPair(loopback.New())
+	pr.sim.Spawn("send", func(p *vtime.Proc) {
+		px := pr.ch.At(pr.a).BeginPacking(p, pr.b.Rank)
+		px.Pack(p, []byte{1}, mad.SendCheaper, mad.ReceiveExpress)
+		px.EndPacking(p)
+	})
+	pr.sim.Spawn("recv", func(p *vtime.Proc) {
+		u := pr.ch.At(pr.b).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, 1), mad.SendCheaper, mad.ReceiveExpress)
+		u.EndUnpacking(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: unpack after end")
+			}
+		}()
+		u.Unpack(p, make([]byte, 1), mad.SendCheaper, mad.ReceiveExpress)
+	})
+	pr.run(t)
+}
+
+func TestSameLinkConcurrentSendersSerialize(t *testing.T) {
+	// Two processes on one node sending to the same destination share the
+	// connection: messages serialize, never interleave.
+	pr := newPair(loopback.New())
+	for i := 0; i < 2; i++ {
+		i := i
+		pr.sim.Spawn("sender", func(p *vtime.Proc) {
+			for k := 0; k < 3; k++ {
+				px := pr.ch.At(pr.a).BeginPacking(p, pr.b.Rank)
+				px.Pack(p, []byte{byte(i)}, mad.SendCheaper, mad.ReceiveExpress)
+				px.Pack(p, bytes.Repeat([]byte{byte(i)}, 5000), mad.SendCheaper, mad.ReceiveCheaper)
+				px.EndPacking(p)
+			}
+		})
+	}
+	pr.sim.Spawn("recv", func(p *vtime.Proc) {
+		for k := 0; k < 6; k++ {
+			u := pr.ch.At(pr.b).BeginUnpacking(p)
+			tag := make([]byte, 1)
+			u.Unpack(p, tag, mad.SendCheaper, mad.ReceiveExpress)
+			body := make([]byte, 5000)
+			u.Unpack(p, body, mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+			// Every byte of the body must match the tag: no
+			// cross-message interleaving.
+			for _, b := range body {
+				if b != tag[0] {
+					t.Fatalf("message %d interleaved: tag %d, body byte %d", k, tag[0], b)
+				}
+			}
+		}
+	})
+	pr.run(t)
+}

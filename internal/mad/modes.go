@@ -1,0 +1,104 @@
+// Package mad implements the core of the Madeleine communication library:
+// sessions, channels, connections, incremental message building
+// (BeginPacking / Pack / EndPacking and the unpacking mirror), send/receive
+// flag semantics, the buffer-management layer (BMMs) and the generic
+// transmission-module (TM) machinery the protocol drivers plug into.
+//
+// The layering follows the paper's Figure 1: an application packs data
+// blocks into messages on a channel; the channel's buffer management module
+// shapes blocks into transmissions suited to the underlying network (copying
+// small blocks into aggregates, referencing large ones, or staging
+// everything through driver-owned static buffers); the transmission module
+// moves each transmission over the simulated hardware, charging virtual
+// time to the PCI buses and wires it crosses.
+//
+// Messages are deliberately *not* self-described at this level — the
+// receiver must unpack blocks in exactly the order and with exactly the
+// flags used by the packer, as in Madeleine. Self-description is added only
+// by the generic transmission module in package fwd, for messages that cross
+// gateways.
+package mad
+
+import "fmt"
+
+// SendMode is the emission constraint of one packed block (the paper's pack
+// flag pairs, after Madeleine II).
+type SendMode uint8
+
+const (
+	// SendCheaper lets the library choose the cheapest strategy: small
+	// blocks are copied into an aggregate, large ones are sent by
+	// reference without a copy. This is the common default.
+	SendCheaper SendMode = iota
+	// SendSafer guarantees the application may modify the block as soon
+	// as Pack returns: the library copies it out immediately.
+	SendSafer
+	// SendLater guarantees the library reads the block no earlier than
+	// EndPacking; it is always sent by reference and never copied.
+	SendLater
+)
+
+func (m SendMode) String() string {
+	switch m {
+	case SendCheaper:
+		return "send_CHEAPER"
+	case SendSafer:
+		return "send_SAFER"
+	case SendLater:
+		return "send_LATER"
+	default:
+		return fmt.Sprintf("send_mode(%d)", uint8(m))
+	}
+}
+
+// RecvMode is the reception constraint of one unpacked block.
+type RecvMode uint8
+
+const (
+	// ReceiveCheaper lets the library defer availability: the block's
+	// data is only guaranteed after EndUnpacking.
+	ReceiveCheaper RecvMode = iota
+	// ReceiveExpress guarantees the block's data is available as soon as
+	// Unpack returns — required when later unpacking decisions depend on
+	// it (sizes, destinations).
+	ReceiveExpress
+)
+
+func (m RecvMode) String() string {
+	switch m {
+	case ReceiveCheaper:
+		return "receive_CHEAPER"
+	case ReceiveExpress:
+		return "receive_EXPRESS"
+	default:
+		return fmt.Sprintf("recv_mode(%d)", uint8(m))
+	}
+}
+
+// Kind distinguishes message classes on the wire. It is the small piece of
+// information transmitted ahead of the message body so a receiver knows
+// whether to decode with a regular module or the generic (forwarding) one —
+// §2.2.2 of the paper.
+type Kind uint8
+
+const (
+	// KindPlain is a regular Madeleine message, decoded by the mirrored
+	// BMM of the channel.
+	KindPlain Kind = iota
+	// KindGTM is a self-described message produced by the generic
+	// transmission module: either in flight between gateways on a
+	// special channel, or arriving at its final destination on a regular
+	// channel after crossing the last gateway.
+	KindGTM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPlain:
+		return "plain"
+	case KindGTM:
+		return "gtm"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}

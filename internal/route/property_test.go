@@ -1,0 +1,99 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"madgo/internal/topo"
+)
+
+// randomTopology builds a random connected cluster-of-clusters: a tree of
+// networks joined by gateways, with leaf nodes sprinkled on.
+func randomTopology(seed uint64) (*topo.Topology, error) {
+	rng := seed*0x9E3779B97F4A7C15 + 1
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	protos := []string{"sci", "myrinet", "sbp", "ethernet"}
+	b := topo.NewBuilder()
+	nets := 1 + int(next(5))
+	for i := 0; i < nets; i++ {
+		b.Network(fmt.Sprintf("n%d", i), protos[next(uint64(len(protos)))])
+	}
+	// Tree of gateways: network i>0 is joined to a random earlier
+	// network.
+	for i := 1; i < nets; i++ {
+		parent := int(next(uint64(i)))
+		b.Node(fmt.Sprintf("g%d", i), fmt.Sprintf("n%d", parent), fmt.Sprintf("n%d", i))
+	}
+	// Leaves: at least two per network so validation passes.
+	leaf := 0
+	for i := 0; i < nets; i++ {
+		for k := 0; k < 2+int(next(3)); k++ {
+			b.Node(fmt.Sprintf("l%d", leaf), fmt.Sprintf("n%d", i))
+			leaf++
+		}
+	}
+	return b.Build()
+}
+
+// Property: on random connected topologies, every ordered pair has a valid
+// route — consecutive legs share the claimed network and the path ends at
+// the destination — and route lengths are symmetric.
+func TestRandomTopologyRoutesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tp, err := randomTopology(seed)
+		if err != nil {
+			t.Logf("seed %d: invalid topology: %v", seed, err)
+			return false
+		}
+		tb := Compute(tp)
+		names := tp.NodeNames()
+		for _, src := range names {
+			for _, dst := range names {
+				if src == dst {
+					continue
+				}
+				r, ok := tb.Lookup(src, dst)
+				if !ok || len(r) == 0 {
+					return false
+				}
+				cur := src
+				for _, hop := range r {
+					if !onNetwork(tp, cur, hop.Network) || !onNetwork(tp, hop.To, hop.Network) {
+						return false
+					}
+					cur = hop.To
+				}
+				if cur != dst {
+					return false
+				}
+				back, _ := tb.Lookup(dst, src)
+				if len(back) != len(r) {
+					return false // BFS shortest paths are length-symmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func onNetwork(tp *topo.Topology, node, network string) bool {
+	n, ok := tp.Node(node)
+	if !ok {
+		return false
+	}
+	for _, nw := range n.Networks {
+		if nw == network {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+// Package route computes the high-level routing tables that the paper says
+// "can easily and efficiently be implemented on top of Madeleine" once the
+// forwarding mechanism exists: for every ordered node pair, the sequence of
+// network hops (through gateways) a message must take.
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"madgo/internal/topo"
+)
+
+// Hop is one leg of a route: cross Network to reach To.
+type Hop struct {
+	Network string
+	To      string
+}
+
+// Route is the full path from a source to a destination. A direct route has
+// one hop; each additional hop crosses one more gateway.
+type Route []Hop
+
+// Direct reports whether the route needs no forwarding.
+func (r Route) Direct() bool { return len(r) == 1 }
+
+// Gateways returns the intermediate nodes, in order.
+func (r Route) Gateways() []string {
+	if len(r) <= 1 {
+		return nil
+	}
+	gws := make([]string, 0, len(r)-1)
+	for _, h := range r[:len(r)-1] {
+		gws = append(gws, h.To)
+	}
+	return gws
+}
+
+func (r Route) String() string {
+	var sb strings.Builder
+	for i, h := range r {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "-[%s]-> %s", h.Network, h.To)
+	}
+	return sb.String()
+}
+
+// Table holds the routes of every ordered node pair of a topology.
+type Table struct {
+	topo   *topo.Topology
+	netIdx map[string]int
+	routes map[[2]string]Route
+}
+
+// Compute builds the routing table with breadth-first search over the
+// node/network graph. Ties are broken by network declaration order first
+// (declare fast networks before slow control networks, as the paper's
+// static configuration does), then by node name, so tables are
+// deterministic and symmetric paths mirror each other.
+func Compute(t *topo.Topology) *Table {
+	tb := &Table{topo: t, netIdx: make(map[string]int), routes: make(map[[2]string]Route)}
+	for i, n := range t.Networks() {
+		tb.netIdx[n.Name] = i
+	}
+	names := t.NodeNames()
+	for _, src := range names {
+		tb.computeFrom(src)
+	}
+	return tb
+}
+
+// neighbor is a candidate next leg during the BFS.
+type neighbor struct {
+	network string
+	node    string
+}
+
+func (tb *Table) computeFrom(src string) {
+	t := tb.topo
+	type state struct {
+		prev string // previous node on the path
+		via  string // network used to reach this node
+	}
+	visited := map[string]state{src: {}}
+	frontier := []string{src}
+	for len(frontier) > 0 {
+		var next []string
+		for _, cur := range frontier {
+			node, _ := t.Node(cur)
+			var hops []neighbor
+			for _, nw := range node.Networks {
+				net, _ := t.Network(nw)
+				for _, peer := range net.Members {
+					if peer != cur {
+						hops = append(hops, neighbor{network: nw, node: peer})
+					}
+				}
+			}
+			// Deterministic exploration order: preferred (earlier
+			// declared) networks first.
+			sort.Slice(hops, func(i, j int) bool {
+				if a, b := tb.netIdx[hops[i].network], tb.netIdx[hops[j].network]; a != b {
+					return a < b
+				}
+				return hops[i].node < hops[j].node
+			})
+			for _, h := range hops {
+				if _, seen := visited[h.node]; seen {
+					continue
+				}
+				visited[h.node] = state{prev: cur, via: h.network}
+				next = append(next, h.node)
+			}
+		}
+		frontier = next
+	}
+	for dst, st := range visited {
+		if dst == src {
+			continue
+		}
+		var rev Route
+		for cur := dst; cur != src; {
+			s := visited[cur]
+			rev = append(rev, Hop{Network: s.via, To: cur})
+			cur = s.prev
+		}
+		// Reverse into src→dst order.
+		r := make(Route, len(rev))
+		for i := range rev {
+			r[i] = rev[len(rev)-1-i]
+		}
+		tb.routes[[2]string{src, dst}] = r
+		_ = st
+	}
+}
+
+// Lookup returns the route from src to dst. It panics on unknown nodes and
+// returns ok=false only for unreachable pairs, which a validated topology
+// never contains.
+func (tb *Table) Lookup(src, dst string) (Route, bool) {
+	if src == dst {
+		panic("route: lookup of self-route " + src)
+	}
+	if _, ok := tb.topo.Node(src); !ok {
+		panic("route: unknown source " + src)
+	}
+	if _, ok := tb.topo.Node(dst); !ok {
+		panic("route: unknown destination " + dst)
+	}
+	r, ok := tb.routes[[2]string{src, dst}]
+	return r, ok
+}
+
+// NextHop returns the first leg from src toward dst.
+func (tb *Table) NextHop(src, dst string) (Hop, bool) {
+	r, ok := tb.Lookup(src, dst)
+	if !ok || len(r) == 0 {
+		return Hop{}, false
+	}
+	return r[0], true
+}
+
+// MaxHops returns the longest route length in the table (diagnostics).
+func (tb *Table) MaxHops() int {
+	max := 0
+	for _, r := range tb.routes {
+		if len(r) > max {
+			max = len(r)
+		}
+	}
+	return max
+}
+
+// String renders every route, sorted, one per line.
+func (tb *Table) String() string {
+	keys := make([][2]string, 0, len(tb.routes))
+	for k := range tb.routes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %s\n", k[0], tb.routes[k])
+	}
+	return sb.String()
+}

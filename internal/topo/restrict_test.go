@@ -1,0 +1,110 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRestrictToHighSpeedNetworks(t *testing.T) {
+	tp := PaperTestbed()
+	hs, err := tp.Restrict("sci0", "myri0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(hs.Networks()); got != 2 {
+		t.Fatalf("networks = %d", got)
+	}
+	// All nine nodes are on at least one high-speed network.
+	if got := len(hs.Nodes()); got != 9 {
+		t.Fatalf("nodes = %d", got)
+	}
+	gwNode, ok := hs.Node("gw")
+	if !ok || len(gwNode.Networks) != 2 {
+		t.Fatalf("gw = %+v", gwNode)
+	}
+	if strings.Contains(hs.String(), "eth0") {
+		t.Fatal("restricted topology still mentions eth0")
+	}
+}
+
+func TestRestrictDropsUnattachedNodes(t *testing.T) {
+	tp, err := NewBuilder().
+		Network("fast", "sci").
+		Network("slow", "ethernet").
+		Node("x", "fast", "slow").
+		Node("y", "fast").
+		Node("z", "slow"). // z is only on the slow network
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tp.Restrict("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sub.Node("z"); ok {
+		t.Fatal("z survived the restriction")
+	}
+	if got := len(sub.Nodes()); got != 2 {
+		t.Fatalf("nodes = %d", got)
+	}
+}
+
+func TestRestrictErrors(t *testing.T) {
+	tp := PaperTestbed()
+	if _, err := tp.Restrict("warp0"); err == nil {
+		t.Error("expected error for unknown network")
+	}
+	// Restricting so hard the result is invalid (one node) must fail
+	// validation rather than produce a broken topology.
+	tiny, err := NewBuilder().
+		Network("n1", "sci").Network("n2", "sci").
+		Node("a", "n1").Node("b", "n1").Node("c", "n2").Node("d", "n2", "n1").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiny.Restrict("n2"); err != nil {
+		t.Fatalf("n2 restriction should be valid (c,d): %v", err)
+	}
+}
+
+func TestGatewaysSortedAndComplete(t *testing.T) {
+	tp, err := NewBuilder().
+		Network("n1", "sci").Network("n2", "myrinet").Network("n3", "sbp").
+		Node("z", "n1", "n2").
+		Node("a", "n2", "n3").
+		Node("m", "n1").
+		Node("q", "n3").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gws := tp.Gateways()
+	if len(gws) != 2 || gws[0] != "a" || gws[1] != "z" {
+		t.Fatalf("gateways = %v, want [a z]", gws)
+	}
+}
+
+func TestSharedNetworksUnknownNodes(t *testing.T) {
+	tp := PaperTestbed()
+	if s := tp.SharedNetworks("a0", "ghost"); s != nil {
+		t.Fatalf("shared with ghost = %v", s)
+	}
+	if s := tp.SharedNetworks("ghost", "a0"); s != nil {
+		t.Fatalf("shared from ghost = %v", s)
+	}
+}
+
+func TestNetworkLookup(t *testing.T) {
+	tp := PaperTestbed()
+	if _, ok := tp.Network("sci0"); !ok {
+		t.Fatal("sci0 missing")
+	}
+	if _, ok := tp.Network("nope"); ok {
+		t.Fatal("phantom network found")
+	}
+	if names := tp.NodeNames(); len(names) != 9 || names[0] != "a0" {
+		t.Fatalf("names = %v", names)
+	}
+}

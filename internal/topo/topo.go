@@ -1,0 +1,316 @@
+// Package topo describes cluster-of-clusters configurations: networks,
+// nodes, which node carries which NICs, and therefore which nodes are
+// gateways. The forwarding layer consumes a validated Topology to build its
+// virtual channels; the cmd tools parse the same textual format the paper's
+// static configuration files play the role of.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Network is one physical interconnect instance in the configuration.
+type Network struct {
+	Name     string
+	Protocol string // "myrinet", "sci", "ethernet", "sbp", "loopback"
+	Members  []string
+}
+
+// Node is one machine of the configuration.
+type Node struct {
+	Name     string
+	Networks []string // attachment order is preserved
+}
+
+// IsGateway reports whether the node bridges at least two networks.
+func (n *Node) IsGateway() bool { return len(n.Networks) >= 2 }
+
+// Topology is a validated cluster-of-clusters description.
+type Topology struct {
+	networks map[string]*Network
+	nodes    map[string]*Node
+	netOrder []string
+	nodeOrd  []string
+}
+
+// Builder accumulates a topology declaratively.
+type Builder struct {
+	t    *Topology
+	errs []string
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{t: &Topology{
+		networks: make(map[string]*Network),
+		nodes:    make(map[string]*Node),
+	}}
+}
+
+// Network declares an interconnect instance.
+func (b *Builder) Network(name, protocol string) *Builder {
+	if name == "" || protocol == "" {
+		b.errs = append(b.errs, "network needs a name and a protocol")
+		return b
+	}
+	if _, dup := b.t.networks[name]; dup {
+		b.errs = append(b.errs, "duplicate network "+name)
+		return b
+	}
+	b.t.networks[name] = &Network{Name: name, Protocol: protocol}
+	b.t.netOrder = append(b.t.netOrder, name)
+	return b
+}
+
+// Node declares a machine attached to the given networks.
+func (b *Builder) Node(name string, networks ...string) *Builder {
+	if name == "" {
+		b.errs = append(b.errs, "node needs a name")
+		return b
+	}
+	if _, dup := b.t.nodes[name]; dup {
+		b.errs = append(b.errs, "duplicate node "+name)
+		return b
+	}
+	if len(networks) == 0 {
+		b.errs = append(b.errs, "node "+name+" is attached to no network")
+		return b
+	}
+	seen := make(map[string]bool)
+	for _, nw := range networks {
+		net, ok := b.t.networks[nw]
+		if !ok {
+			b.errs = append(b.errs, fmt.Sprintf("node %s references unknown network %s", name, nw))
+			continue
+		}
+		if seen[nw] {
+			b.errs = append(b.errs, fmt.Sprintf("node %s attached to network %s twice", name, nw))
+			continue
+		}
+		seen[nw] = true
+		net.Members = append(net.Members, name)
+	}
+	b.t.nodes[name] = &Node{Name: name, Networks: networks}
+	b.t.nodeOrd = append(b.t.nodeOrd, name)
+	return b
+}
+
+// Build validates and returns the topology. Validation requires at least
+// two nodes, every network to have at least two members, and the whole
+// configuration to be connected (every node reachable from every other via
+// shared networks and gateways).
+func (b *Builder) Build() (*Topology, error) {
+	t := b.t
+	errs := append([]string(nil), b.errs...)
+	if len(t.nodes) < 2 {
+		errs = append(errs, "topology needs at least two nodes")
+	}
+	for _, name := range t.netOrder {
+		if n := t.networks[name]; len(n.Members) < 2 {
+			errs = append(errs, fmt.Sprintf("network %s has %d member(s), need at least 2", name, len(n.Members)))
+		}
+	}
+	if len(errs) == 0 && !t.connected() {
+		errs = append(errs, "topology is not connected: some nodes cannot reach each other through gateways")
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("topo: invalid configuration:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return t, nil
+}
+
+// connected checks reachability over the node/network bipartite graph.
+func (t *Topology) connected() bool {
+	if len(t.nodeOrd) == 0 {
+		return true
+	}
+	seen := map[string]bool{t.nodeOrd[0]: true}
+	queue := []string{t.nodeOrd[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nw := range t.nodes[cur].Networks {
+			for _, peer := range t.networks[nw].Members {
+				if !seen[peer] {
+					seen[peer] = true
+					queue = append(queue, peer)
+				}
+			}
+		}
+	}
+	return len(seen) == len(t.nodes)
+}
+
+// Networks returns the networks in declaration order.
+func (t *Topology) Networks() []*Network {
+	out := make([]*Network, 0, len(t.netOrder))
+	for _, n := range t.netOrder {
+		out = append(out, t.networks[n])
+	}
+	return out
+}
+
+// Nodes returns the nodes in declaration order.
+func (t *Topology) Nodes() []*Node {
+	out := make([]*Node, 0, len(t.nodeOrd))
+	for _, n := range t.nodeOrd {
+		out = append(out, t.nodes[n])
+	}
+	return out
+}
+
+// NodeNames returns the node names in declaration order.
+func (t *Topology) NodeNames() []string { return append([]string(nil), t.nodeOrd...) }
+
+// Network looks up a network by name.
+func (t *Topology) Network(name string) (*Network, bool) {
+	n, ok := t.networks[name]
+	return n, ok
+}
+
+// Node looks up a node by name.
+func (t *Topology) Node(name string) (*Node, bool) {
+	n, ok := t.nodes[name]
+	return n, ok
+}
+
+// Gateways returns the names of all gateway nodes, sorted.
+func (t *Topology) Gateways() []string {
+	var gws []string
+	for _, name := range t.nodeOrd {
+		if t.nodes[name].IsGateway() {
+			gws = append(gws, name)
+		}
+	}
+	sort.Strings(gws)
+	return gws
+}
+
+// SharedNetworks returns the networks both nodes are attached to, in the
+// first node's attachment order.
+func (t *Topology) SharedNetworks(a, b string) []string {
+	nb, ok := t.nodes[b]
+	if !ok {
+		return nil
+	}
+	onB := make(map[string]bool, len(nb.Networks))
+	for _, nw := range nb.Networks {
+		onB[nw] = true
+	}
+	var shared []string
+	na, ok := t.nodes[a]
+	if !ok {
+		return nil
+	}
+	for _, nw := range na.Networks {
+		if onB[nw] {
+			shared = append(shared, nw)
+		}
+	}
+	return shared
+}
+
+// String renders the topology in the textual configuration format Parse
+// accepts.
+func (t *Topology) String() string {
+	var sb strings.Builder
+	for _, name := range t.netOrder {
+		n := t.networks[name]
+		fmt.Fprintf(&sb, "network %s %s\n", n.Name, n.Protocol)
+	}
+	for _, name := range t.nodeOrd {
+		n := t.nodes[name]
+		fmt.Fprintf(&sb, "node %s %s\n", n.Name, strings.Join(n.Networks, " "))
+	}
+	return sb.String()
+}
+
+// Parse reads the textual configuration format:
+//
+//	# comment
+//	network <name> <protocol>
+//	node <name> <network> [<network>...]
+func Parse(text string) (*Topology, error) {
+	b := NewBuilder()
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "network":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topo: line %d: network wants <name> <protocol>", lineno+1)
+			}
+			b.Network(fields[1], fields[2])
+		case "node":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("topo: line %d: node wants <name> <network>...", lineno+1)
+			}
+			b.Node(fields[1], fields[2:]...)
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineno+1, fields[0])
+		}
+	}
+	return b.Build()
+}
+
+// Restrict returns a sub-topology containing only the named networks and
+// the nodes attached to at least one of them — how a virtual channel is
+// scoped to the high-speed networks while a control network (Ethernet)
+// exists alongside. The result is re-validated.
+func (t *Topology) Restrict(nets ...string) (*Topology, error) {
+	keep := make(map[string]bool, len(nets))
+	for _, n := range nets {
+		if _, ok := t.networks[n]; !ok {
+			return nil, fmt.Errorf("topo: restrict to unknown network %s", n)
+		}
+		keep[n] = true
+	}
+	b := NewBuilder()
+	for _, name := range t.netOrder {
+		if keep[name] {
+			b.Network(name, t.networks[name].Protocol)
+		}
+	}
+	for _, name := range t.nodeOrd {
+		var attached []string
+		for _, nw := range t.nodes[name].Networks {
+			if keep[nw] {
+				attached = append(attached, nw)
+			}
+		}
+		if len(attached) > 0 {
+			b.Node(name, attached...)
+		}
+	}
+	return b.Build()
+}
+
+// PaperTestbed returns the evaluation configuration of §3: a four-node SCI
+// cluster, a four-node Myrinet cluster, a gateway holding both NICs, and a
+// Fast-Ethernet control network spanning everything (the ping ack path).
+func PaperTestbed() *Topology {
+	b := NewBuilder().
+		Network("sci0", "sci").
+		Network("myri0", "myrinet").
+		Network("eth0", "ethernet")
+	// SCI cluster.
+	for _, n := range []string{"a0", "a1", "a2", "a3"} {
+		b.Node(n, "sci0", "eth0")
+	}
+	// The gateway carries one SCI and one Myrinet card.
+	b.Node("gw", "sci0", "myri0", "eth0")
+	// Myrinet cluster.
+	for _, n := range []string{"b0", "b1", "b2", "b3"} {
+		b.Node(n, "myri0", "eth0")
+	}
+	t, err := b.Build()
+	if err != nil {
+		panic(err) // the embedded testbed is always valid
+	}
+	return t
+}

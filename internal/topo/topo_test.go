@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperTestbed(t *testing.T) {
+	tp := PaperTestbed()
+	if got := len(tp.Nodes()); got != 9 {
+		t.Fatalf("nodes = %d, want 9", got)
+	}
+	if got := len(tp.Networks()); got != 3 {
+		t.Fatalf("networks = %d, want 3", got)
+	}
+	gws := tp.Gateways()
+	// Every node is on eth0+cluster net, so only "gw" bridges the two
+	// high-speed networks — but IsGateway counts any multi-homed node.
+	// All nodes carry eth0 plus a cluster network, so all are gateways
+	// in the graph sense; the forwarding layer picks per virtual
+	// channel. Here we just check gw is among them and on all three.
+	found := false
+	for _, g := range gws {
+		if g == "gw" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gateways = %v, missing gw", gws)
+	}
+	n, _ := tp.Node("gw")
+	if len(n.Networks) != 3 {
+		t.Fatalf("gw networks = %v", n.Networks)
+	}
+	if shared := tp.SharedNetworks("a0", "a1"); len(shared) != 2 || shared[0] != "sci0" {
+		t.Fatalf("SharedNetworks(a0,a1) = %v", shared)
+	}
+	if shared := tp.SharedNetworks("a0", "b0"); len(shared) != 1 || shared[0] != "eth0" {
+		t.Fatalf("SharedNetworks(a0,b0) = %v", shared)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	cases := map[string]func() *Builder{
+		"too few nodes": func() *Builder {
+			return NewBuilder().Network("n", "sci").Node("a", "n")
+		},
+		"single-member network": func() *Builder {
+			return NewBuilder().Network("n", "sci").Network("m", "sci").
+				Node("a", "n", "m").Node("b", "m")
+		},
+		"unknown network": func() *Builder {
+			return NewBuilder().Network("n", "sci").Node("a", "zz").Node("b", "n")
+		},
+		"duplicate network": func() *Builder {
+			return NewBuilder().Network("n", "sci").Network("n", "sci").
+				Node("a", "n").Node("b", "n")
+		},
+		"duplicate node": func() *Builder {
+			return NewBuilder().Network("n", "sci").Node("a", "n").Node("a", "n").Node("b", "n")
+		},
+		"double attachment": func() *Builder {
+			return NewBuilder().Network("n", "sci").Node("a", "n", "n").Node("b", "n")
+		},
+		"nodeless node": func() *Builder {
+			return NewBuilder().Network("n", "sci").Node("a").Node("b", "n")
+		},
+		"disconnected": func() *Builder {
+			return NewBuilder().Network("n", "sci").Network("m", "myrinet").
+				Node("a", "n").Node("b", "n").Node("c", "m").Node("d", "m")
+		},
+	}
+	for name, mk := range cases {
+		if _, err := mk().Build(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestConnectedViaGateway(t *testing.T) {
+	tp, err := NewBuilder().
+		Network("n", "sci").Network("m", "myrinet").
+		Node("a", "n").Node("g", "n", "m").Node("b", "m").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gws := tp.Gateways(); len(gws) != 1 || gws[0] != "g" {
+		t.Fatalf("gateways = %v", gws)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+# the paper's testbed, abridged
+network sci0 sci
+network myri0 myrinet
+
+node a0 sci0
+node gw sci0 myri0
+node b0 myri0
+`
+	tp, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(tp.String())
+	if err != nil {
+		t.Fatalf("reparse of String() failed: %v\n%s", err, tp.String())
+	}
+	if tp.String() != again.String() {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", tp.String(), again.String())
+	}
+	n, ok := tp.Node("gw")
+	if !ok || !n.IsGateway() {
+		t.Fatal("gw not parsed as gateway")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"bad directive":  "frobnicate x y",
+		"short network":  "network onlyname",
+		"short node":     "network n sci\nnode a",
+		"invalid config": "network n sci\nnode a n",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	tp := PaperTestbed()
+	s := tp.String()
+	if !strings.Contains(s, "network sci0 sci") || !strings.Contains(s, "node gw sci0 myri0 eth0") {
+		t.Fatalf("unexpected format:\n%s", s)
+	}
+}

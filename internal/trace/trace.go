@@ -1,0 +1,214 @@
+// Package trace records timestamped spans from the simulation — the
+// reproduction's analogue of the paper's rdtsc instrumentation of the
+// gateway's low-level code (§3.4.1). The gateway pipeline emits one span per
+// receive step, send step and buffer switch; the analysis helpers rebuild
+// the Figure 5 / Figure 8 timelines and the pipeline-period accounting of
+// §3.3.1 from them.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"madgo/internal/vtime"
+)
+
+// Span is one recorded interval.
+type Span struct {
+	Actor string // e.g. "gw:recv:sci0", "gw:send:myri0"
+	Op    string // "recv", "send", "swap", "header", ...
+	Bytes int
+	T0    vtime.Time
+	T1    vtime.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() vtime.Duration { return s.T1.Sub(s.T0) }
+
+func (s Span) String() string {
+	return fmt.Sprintf("%-18s %-6s %8dB  %12v .. %-12v (%v)", s.Actor, s.Op, s.Bytes, s.T0, s.T1, s.Duration())
+}
+
+// Tracer collects spans. A nil *Tracer is valid and records nothing, so
+// instrumented code needs no conditionals.
+type Tracer struct {
+	spans []Span
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Record adds a completed span.
+func (t *Tracer) Record(actor, op string, bytes int, t0, t1 vtime.Time) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{Actor: actor, Op: op, Bytes: bytes, T0: t0, T1: t1})
+}
+
+// Spans returns every recorded span in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return append([]Span(nil), t.spans...)
+}
+
+// ByActor returns the spans of one actor, in time order.
+func (t *Tracer) ByActor(actor string) []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.spans {
+		if s.Actor == actor {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T0 < out[j].T0 })
+	return out
+}
+
+// Actors returns the distinct actor names, sorted.
+func (t *Tracer) Actors() []string {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range t.spans {
+		if !seen[s.Actor] {
+			seen[s.Actor] = true
+			out = append(out, s.Actor)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset discards all recorded spans.
+func (t *Tracer) Reset() {
+	if t != nil {
+		t.spans = t.spans[:0]
+	}
+}
+
+// Periods returns the start-to-start intervals between consecutive spans of
+// one actor and operation — the pipeline period of §3.3.1 when applied to
+// the gateway receive steps.
+func (t *Tracer) Periods(actor, op string) []vtime.Duration {
+	var starts []vtime.Time
+	for _, s := range t.ByActor(actor) {
+		if s.Op == op {
+			starts = append(starts, s.T0)
+		}
+	}
+	if len(starts) < 2 {
+		return nil
+	}
+	out := make([]vtime.Duration, 0, len(starts)-1)
+	for i := 1; i < len(starts); i++ {
+		out = append(out, starts[i].Sub(starts[i-1]))
+	}
+	return out
+}
+
+// MeanDuration returns the average length of the actor's spans with the
+// given op, and their count.
+func (t *Tracer) MeanDuration(actor, op string) (vtime.Duration, int) {
+	var sum vtime.Duration
+	n := 0
+	for _, s := range t.ByActor(actor) {
+		if s.Op == op {
+			sum += s.Duration()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / vtime.Duration(n), n
+}
+
+// SteadyMean is MeanDuration computed after dropping the first `warmup` and
+// last `cooldown` spans — the pipeline's fill and drain phases.
+func (t *Tracer) SteadyMean(actor, op string, warmup, cooldown int) (vtime.Duration, int) {
+	var spans []Span
+	for _, s := range t.ByActor(actor) {
+		if s.Op == op {
+			spans = append(spans, s)
+		}
+	}
+	if len(spans) <= warmup+cooldown {
+		return 0, 0
+	}
+	spans = spans[warmup : len(spans)-cooldown]
+	var sum vtime.Duration
+	for _, s := range spans {
+		sum += s.Duration()
+	}
+	return sum / vtime.Duration(len(spans)), len(spans)
+}
+
+// Timeline renders an ASCII Gantt chart of all actors between t0 and t1,
+// with the given number of character columns — the textual Figure 5 /
+// Figure 8. Each actor gets a lane; busy intervals are drawn with the op's
+// first letter ('r'eceive, 's'end, '×' for swaps).
+func (t *Tracer) Timeline(t0, t1 vtime.Time, cols int) string {
+	if t == nil || cols <= 0 || t1 <= t0 {
+		return ""
+	}
+	actors := t.Actors()
+	if len(actors) == 0 {
+		return ""
+	}
+	width := 0
+	for _, a := range actors {
+		if len(a) > width {
+			width = len(a)
+		}
+	}
+	total := t1.Sub(t0)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%*s  |%v .. %v, one column = %v|\n", width, "", t0, t1, total/vtime.Duration(cols))
+	for _, a := range actors {
+		lane := make([]byte, cols)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, s := range t.ByActor(a) {
+			if s.T1 <= t0 || s.T0 >= t1 {
+				continue
+			}
+			mark := byte('?')
+			switch s.Op {
+			case "recv":
+				mark = 'r'
+			case "send":
+				mark = 's'
+			case "swap":
+				mark = 'x'
+			case "header":
+				mark = 'h'
+			default:
+				if len(s.Op) > 0 {
+					mark = s.Op[0]
+				}
+			}
+			c0 := int(int64(s.T0-t0) * int64(cols) / int64(total))
+			c1 := int(int64(s.T1-t0) * int64(cols) / int64(total))
+			if c0 < 0 {
+				c0 = 0
+			}
+			if c1 >= cols {
+				c1 = cols - 1
+			}
+			for c := c0; c <= c1; c++ {
+				lane[c] = mark
+			}
+		}
+		fmt.Fprintf(&sb, "%*s  %s\n", width, a, lane)
+	}
+	return sb.String()
+}

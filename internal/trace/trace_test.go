@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"madgo/internal/vtime"
+)
+
+func us(n int64) vtime.Time { return vtime.Time(n * int64(vtime.Microsecond)) }
+
+func sample() *Tracer {
+	tr := New()
+	tr.Record("gw:recv:sci0", "recv", 8192, us(0), us(190))
+	tr.Record("gw:recv:sci0", "swap", 0, us(190), us(230))
+	tr.Record("gw:send:myri0", "send", 8192, us(230), us(410))
+	tr.Record("gw:recv:sci0", "recv", 8192, us(230), us(420))
+	tr.Record("gw:recv:sci0", "swap", 0, us(420), us(460))
+	tr.Record("gw:send:myri0", "send", 8192, us(460), us(640))
+	return tr
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("a", "recv", 1, 0, 1)
+	if tr.Spans() != nil || tr.Actors() != nil || tr.ByActor("a") != nil {
+		t.Error("nil tracer returned data")
+	}
+	if tl := tr.Timeline(0, us(10), 10); tl != "" {
+		t.Error("nil tracer rendered a timeline")
+	}
+	tr.Reset()
+}
+
+func TestActorsAndByActor(t *testing.T) {
+	tr := sample()
+	actors := tr.Actors()
+	if len(actors) != 2 || actors[0] != "gw:recv:sci0" || actors[1] != "gw:send:myri0" {
+		t.Fatalf("actors = %v", actors)
+	}
+	recvs := tr.ByActor("gw:recv:sci0")
+	if len(recvs) != 4 {
+		t.Fatalf("recv spans = %d", len(recvs))
+	}
+	for i := 1; i < len(recvs); i++ {
+		if recvs[i].T0 < recvs[i-1].T0 {
+			t.Fatal("ByActor not time-ordered")
+		}
+	}
+}
+
+func TestPeriods(t *testing.T) {
+	tr := sample()
+	periods := tr.Periods("gw:recv:sci0", "recv")
+	if len(periods) != 1 || periods[0] != 230*vtime.Microsecond {
+		t.Fatalf("periods = %v", periods)
+	}
+	if p := tr.Periods("gw:recv:sci0", "nope"); p != nil {
+		t.Fatalf("periods for unknown op = %v", p)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	tr := sample()
+	mean, n := tr.MeanDuration("gw:send:myri0", "send")
+	if n != 2 || mean != 180*vtime.Microsecond {
+		t.Fatalf("mean = %v over %d", mean, n)
+	}
+	if _, n := tr.MeanDuration("x", "y"); n != 0 {
+		t.Fatal("unknown actor produced samples")
+	}
+}
+
+func TestSteadyMean(t *testing.T) {
+	tr := New()
+	// First and last spans are ramp artifacts.
+	tr.Record("a", "recv", 1, us(0), us(1000))
+	for i := int64(1); i <= 5; i++ {
+		tr.Record("a", "recv", 1, us(i*1000), us(i*1000+100))
+	}
+	tr.Record("a", "recv", 1, us(7000), us(9000))
+	mean, n := tr.SteadyMean("a", "recv", 1, 1)
+	if n != 5 || mean != 100*vtime.Microsecond {
+		t.Fatalf("steady mean = %v over %d", mean, n)
+	}
+	if _, n := tr.SteadyMean("a", "recv", 4, 4); n != 0 {
+		t.Fatal("over-trimmed window returned samples")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := sample()
+	tl := tr.Timeline(0, us(640), 64)
+	if !strings.Contains(tl, "gw:recv:sci0") || !strings.Contains(tl, "gw:send:myri0") {
+		t.Fatalf("timeline missing lanes:\n%s", tl)
+	}
+	if !strings.Contains(tl, "r") || !strings.Contains(tl, "s") || !strings.Contains(tl, "x") {
+		t.Fatalf("timeline missing op marks:\n%s", tl)
+	}
+	// Degenerate windows are rejected, not crashed on.
+	if tr.Timeline(us(10), us(10), 64) != "" || tr.Timeline(0, us(10), 0) != "" {
+		t.Fatal("degenerate timeline not empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := sample()
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("reset did not clear spans")
+	}
+}
+
+func TestSpanStringAndDuration(t *testing.T) {
+	s := Span{Actor: "a", Op: "recv", Bytes: 42, T0: us(1), T1: us(3)}
+	if s.Duration() != 2*vtime.Microsecond {
+		t.Fatal("duration wrong")
+	}
+	if str := s.String(); !strings.Contains(str, "recv") || !strings.Contains(str, "42") {
+		t.Fatalf("String() = %q", str)
+	}
+}

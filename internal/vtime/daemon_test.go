@@ -1,0 +1,132 @@
+package vtime
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDaemonsDoNotDeadlockTheRun(t *testing.T) {
+	s := New()
+	served := 0
+	var w *Waker
+	s.SpawnDaemon("server", func(p *Proc) {
+		for {
+			w = p.Blocker("await request")
+			w.Wait()
+			served++
+		}
+	})
+	s.Spawn("client", func(p *Proc) {
+		p.Sleep(Microsecond) // let the server park
+		w.Wake()
+		p.Sleep(Microsecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run with parked daemon errored: %v", err)
+	}
+	if served != 1 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestDeadlockStillReportedWithDaemonsPresent(t *testing.T) {
+	s := New()
+	s.SpawnDaemon("daemon", func(p *Proc) {
+		p.Blocker("idle").Wait()
+	})
+	s.Spawn("stuck", func(p *Proc) {
+		p.Blocker("forgotten").Wait()
+	})
+	err := s.Run()
+	de, ok := err.(DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if len(de.Stuck) != 1 || !strings.Contains(de.Stuck[0], "stuck") {
+		t.Fatalf("stuck = %v (daemons must not be listed)", de.Stuck)
+	}
+}
+
+func TestOnIdleHookRunsOnDeadlock(t *testing.T) {
+	s := New()
+	ran := false
+	s.OnIdle(func() { ran = true })
+	s.Spawn("stuck", func(p *Proc) { p.Blocker("x").Wait() })
+	if _, ok := s.Run().(DeadlockError); !ok {
+		t.Fatal("expected deadlock")
+	}
+	if !ran {
+		t.Fatal("OnIdle hook not invoked")
+	}
+}
+
+func TestOnIdleHookNotRunOnCleanExit(t *testing.T) {
+	s := New()
+	ran := false
+	s.OnIdle(func() { ran = true })
+	s.Spawn("fine", func(p *Proc) { p.Sleep(Microsecond) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("OnIdle hook ran without a deadlock")
+	}
+}
+
+func TestBlockingCallFromWrongGoroutinePanics(t *testing.T) {
+	s := New()
+	var handle *Proc
+	s.Spawn("victim", func(p *Proc) {
+		handle = p
+		p.Sleep(Microsecond)
+	})
+	s.Spawn("offender", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: Sleep on a process that is not running")
+			}
+		}()
+		handle.Sleep(Microsecond) // wrong: handle belongs to victim
+	})
+	_ = s.Run()
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	s := New()
+	s.Spawn("reenter", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on reentrant Run")
+			}
+		}()
+		_ = s.Run()
+	})
+	_ = s.Run()
+}
+
+func TestProcAccessors(t *testing.T) {
+	s := New()
+	s.Spawn("named", func(p *Proc) {
+		if p.Name() != "named" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Sim() != s {
+			t.Error("Sim accessor wrong")
+		}
+		if p.Done() || p.Parked() {
+			t.Error("running process misreports state")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

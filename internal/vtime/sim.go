@@ -1,0 +1,204 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled occurrence: either resuming a parked process or
+// running a lightweight callback in scheduler context.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tiebreaker for simultaneous events
+	p   *proc  // process to resume, nil for callbacks
+	gen uint64 // park generation guard: stale wakes are dropped
+	fn  func() // callback, nil for process resumes
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// yield is the message a process goroutine sends back to the scheduler when
+// it gives up control.
+type yield struct {
+	p        *proc
+	done     bool
+	panicked interface{}
+}
+
+// Sim is a discrete-event simulation. The zero value is not usable; create
+// simulations with New.
+//
+// All processes of a Sim run under a single scheduler, one at a time, so no
+// locking is needed anywhere in simulation code.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	handoff chan yield
+	live    map[int]*proc
+	nextID  int
+	running bool
+	current *proc
+	idle    []func() // hooks run when the event queue drains (diagnostics)
+}
+
+// New creates an empty simulation with the clock at zero.
+func New() *Sim {
+	return &Sim{
+		handoff: make(chan yield),
+		live:    make(map[int]*proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// schedule enqueues an event at time at (>= now).
+func (s *Sim) schedule(at Time, p *proc, gen uint64, fn func()) *event {
+	if at < s.now {
+		panic(fmt.Sprintf("vtime: scheduling into the past (%v < %v)", at, s.now))
+	}
+	s.seq++
+	e := &event{at: at, seq: s.seq, p: p, gen: gen, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// At schedules fn to run in scheduler context at absolute time at. The
+// callback must not block; it is intended for bookkeeping such as fluid-flow
+// completions. Callbacks may schedule further events and wake processes.
+func (s *Sim) At(at Time, fn func()) {
+	s.schedule(at, nil, 0, fn)
+}
+
+// After schedules fn to run d from now. See At.
+func (s *Sim) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("vtime: After with negative duration")
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// OnIdle registers a diagnostic hook invoked once when the event queue
+// drains while processes are still alive (i.e. on deadlock detection),
+// before Run returns the DeadlockError.
+func (s *Sim) OnIdle(fn func()) { s.idle = append(s.idle, fn) }
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked. It lists the stuck processes and what they were last
+// waiting on.
+type DeadlockError struct {
+	Stuck []string
+}
+
+func (e DeadlockError) Error() string {
+	return "vtime: deadlock, blocked processes: " + strings.Join(e.Stuck, ", ")
+}
+
+// Run executes the simulation until no events remain. It returns nil when
+// every process has finished, and a DeadlockError when processes remain
+// blocked with nothing left to wake them. A panic inside a process is
+// re-raised in the caller, annotated with the process name.
+func (s *Sim) Run() error {
+	return s.run(-1)
+}
+
+// RunUntil executes the simulation, stopping before the first event
+// scheduled after the deadline. Remaining events stay queued; Run or
+// RunUntil may be called again. The clock is left at the time of the last
+// executed event (it does not jump to the deadline).
+func (s *Sim) RunUntil(deadline Time) error {
+	return s.run(deadline)
+}
+
+func (s *Sim) run(deadline Time) error {
+	if s.running {
+		panic("vtime: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for s.events.Len() > 0 {
+		if deadline >= 0 && s.events[0].at > deadline {
+			return nil
+		}
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		p := e.p
+		if p.state == stateDone || p.gen != e.gen {
+			continue // stale wake
+		}
+		s.resume(p)
+	}
+	var stuck []string
+	for _, p := range s.live {
+		if !p.daemon {
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.waiting))
+		}
+	}
+	if len(stuck) > 0 {
+		for _, fn := range s.idle {
+			fn()
+		}
+		sort.Strings(stuck)
+		return DeadlockError{Stuck: stuck}
+	}
+	return nil
+}
+
+// resume transfers control to p and waits for it to park or finish.
+func (s *Sim) resume(p *proc) {
+	p.state = stateRunning
+	s.current = p
+	p.resume <- struct{}{}
+	y := <-s.handoff
+	s.current = nil
+	if y.panicked != nil {
+		panic(fmt.Sprintf("vtime: process %q panicked: %v", y.p.name, y.panicked))
+	}
+	if y.done {
+		y.p.state = stateDone
+		delete(s.live, y.p.id)
+		for _, j := range y.p.joiners {
+			s.ready(j)
+		}
+		y.p.joiners = nil
+	}
+}
+
+// ready wakes a parked process at the current time (FIFO among same-time
+// wakes).
+func (s *Sim) ready(p *proc) {
+	if p.state != stateParked {
+		panic(fmt.Sprintf("vtime: waking process %q which is not parked", p.name))
+	}
+	p.state = stateScheduled
+	s.schedule(s.now, p, p.gen, nil)
+}
+
+// Processes returns the number of live (not yet finished) processes.
+func (s *Sim) Processes() int { return len(s.live) }

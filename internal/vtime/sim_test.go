@@ -1,0 +1,361 @@
+package vtime
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("fresh sim clock = %v, want 0", s.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New()
+	var end Time
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		p.Sleep(7 * Microsecond)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(12 * Microsecond); end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	s.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "a1,b1,a2" {
+		t.Fatalf("order = %s, want a1,b1,a2", got)
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	s := New()
+	s.Spawn("bad", func(p *Proc) {
+		p.Sleep(-1)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from negative sleep")
+		}
+	}()
+	_ = s.Run()
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	// Processes woken at the same instant run in scheduling order.
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Microsecond)
+			order = append(order, i)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var log []string
+		for i := 0; i < 5; i++ {
+			i := i
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for k := 0; k < 3; k++ {
+					p.Sleep(Duration(1+i) * Microsecond)
+					log = append(log, fmt.Sprintf("p%d@%v", i, p.Now()))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a := strings.Join(run(), ";")
+	for i := 0; i < 5; i++ {
+		if b := strings.Join(run(), ";"); a != b {
+			t.Fatalf("nondeterministic run:\n%s\nvs\n%s", a, b)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := New()
+	var childTime Time
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(3 * Microsecond)
+		child := s.Spawn("child", func(c *Proc) {
+			c.Sleep(Microsecond)
+			childTime = c.Now()
+		})
+		p.Join(child)
+		if p.Now() != Time(4*Microsecond) {
+			t.Errorf("parent resumed at %v, want 4µs", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != Time(4*Microsecond) {
+		t.Fatalf("child finished at %v, want 4µs", childTime)
+	}
+}
+
+func TestJoinFinishedProcess(t *testing.T) {
+	s := New()
+	done := s.Spawn("quick", func(p *Proc) {})
+	s.Spawn("joiner", func(p *Proc) {
+		p.Sleep(Microsecond)
+		if !done.Done() {
+			t.Error("quick not done after 1µs")
+		}
+		p.Join(done) // must not block
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	s.Spawn("stuck", func(p *Proc) {
+		w := p.Blocker("never woken")
+		w.Wait()
+	})
+	err := s.Run()
+	de, ok := err.(DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Stuck) != 1 || !strings.Contains(de.Stuck[0], "stuck") || !strings.Contains(de.Stuck[0], "never woken") {
+		t.Fatalf("stuck = %v", de.Stuck)
+	}
+}
+
+func TestWakerBeforeWait(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		w := p.Blocker("x")
+		w.Wake()
+		w.Wait() // must not block
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakerCrossProcess(t *testing.T) {
+	s := New()
+	var woken Time
+	var w *Waker
+	s.Spawn("sleeper", func(p *Proc) {
+		w = p.Blocker("cross")
+		w.Wait()
+		woken = p.Now()
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(9 * Microsecond)
+		w.Wake()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != Time(9*Microsecond) {
+		t.Fatalf("woken at %v, want 9µs", woken)
+	}
+}
+
+func TestDoubleWakePanics(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		w := p.Blocker("x")
+		w.Wake()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on double wake")
+			}
+		}()
+		w.Wake()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallbackEvents(t *testing.T) {
+	s := New()
+	var at Time
+	s.After(4*Microsecond, func() { at = s.Now() })
+	s.Spawn("idle", func(p *Proc) { p.Sleep(10 * Microsecond) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(4*Microsecond) {
+		t.Fatalf("callback at %v, want 4µs", at)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	s := New()
+	var ticks int
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(Millisecond)
+			ticks++
+		}
+	})
+	if err := s.RunUntil(Time(3 * Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d after full run, want 10", ticks)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	s := New()
+	s.Spawn("bomber", func(p *Proc) {
+		p.Sleep(Microsecond)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "boom") || !strings.Contains(fmt.Sprint(r), "bomber") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	_ = s.Run()
+}
+
+func TestProcessesCount(t *testing.T) {
+	s := New()
+	s.Spawn("a", func(p *Proc) { p.Sleep(Microsecond) })
+	s.Spawn("b", func(p *Proc) { p.Sleep(2 * Microsecond) })
+	if s.Processes() != 2 {
+		t.Fatalf("live = %d, want 2", s.Processes())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Processes() != 0 {
+		t.Fatalf("live = %d after run, want 0", s.Processes())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{Microsecond, "1µs"},
+		{42 * Microsecond, "42µs"},
+		{1500 * Microsecond, "1.5ms"},
+		{Second, "1s"},
+		{-Microsecond, "-1µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationOfBytes(t *testing.T) {
+	// 1 MB at 1 MB/s is one second.
+	if d := DurationOfBytes(1e6, 1e6); d != Second {
+		t.Fatalf("d = %v, want 1s", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rate")
+		}
+	}()
+	DurationOfBytes(1, 0)
+}
+
+// Property: for any set of sleep durations, each process observes the sum of
+// its own sleeps as its completion time, regardless of interleaving.
+func TestSleepAccumulationProperty(t *testing.T) {
+	f := func(durs [][]uint16) bool {
+		if len(durs) > 8 {
+			durs = durs[:8]
+		}
+		s := New()
+		ends := make([]Time, len(durs))
+		sums := make([]Duration, len(durs))
+		for i, ds := range durs {
+			if len(ds) > 16 {
+				ds = ds[:16]
+			}
+			i, ds := i, ds
+			for _, d := range ds {
+				sums[i] += Duration(d)
+			}
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for _, d := range ds {
+					p.Sleep(Duration(d))
+				}
+				ends[i] = p.Now()
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := range durs {
+			if ends[i] != Time(sums[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Since(Time(1), Time(2))
+}

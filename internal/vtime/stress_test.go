@@ -1,0 +1,93 @@
+package vtime
+
+import (
+	"testing"
+)
+
+// TestThousandsOfProcesses checks the kernel scales to the process counts a
+// big topology implies (pollers, gateway threads, app processes) without
+// ordering anomalies.
+func TestThousandsOfProcesses(t *testing.T) {
+	s := New()
+	const n = 3000
+	finished := 0
+	var last Time
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(Duration(i%97+1) * Microsecond)
+			p.Sleep(Duration(i%13+1) * Microsecond)
+			finished++
+			if p.Now() < last-110*Time(Microsecond) {
+				t.Error("gross ordering anomaly")
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != n {
+		t.Fatalf("finished = %d", finished)
+	}
+	if last != Time(110*Microsecond) {
+		t.Fatalf("last completion at %v, want 110µs", last)
+	}
+}
+
+// TestDeepSpawnChains: each process spawns the next; depth must not be
+// limited by the kernel.
+func TestDeepSpawnChains(t *testing.T) {
+	s := New()
+	const depth = 500
+	reached := 0
+	var spawn func(k int) func(*Proc)
+	spawn = func(k int) func(*Proc) {
+		return func(p *Proc) {
+			reached = k
+			p.Sleep(Microsecond)
+			if k < depth {
+				s.Spawn("link", spawn(k+1))
+			}
+		}
+	}
+	s.Spawn("link", spawn(1))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reached != depth {
+		t.Fatalf("chain reached %d, want %d", reached, depth)
+	}
+	if got := Duration(s.Now()); got != depth*Microsecond {
+		t.Fatalf("clock = %v", got)
+	}
+}
+
+// TestManyCallbacksInterleaveWithProcesses mixes thousands of scheduler
+// callbacks with process wakeups at identical timestamps.
+func TestManyCallbacksInterleaveWithProcesses(t *testing.T) {
+	s := New()
+	events := 0
+	for i := 0; i < 1000; i++ {
+		at := Time((i % 50) * int(Microsecond))
+		s.At(at, func() { events++ })
+	}
+	wakes := 0
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Spawn("w", func(p *Proc) {
+			for k := 0; k < 5; k++ {
+				p.Sleep(Duration(i%50) * Microsecond)
+				wakes++
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if events != 1000 || wakes != 500 {
+		t.Fatalf("events=%d wakes=%d", events, wakes)
+	}
+}

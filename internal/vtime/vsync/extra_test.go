@@ -1,0 +1,139 @@
+package vsync
+
+import (
+	"testing"
+
+	"madgo/internal/vtime"
+)
+
+func TestCondSignalNoWaitersIsNoop(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		c := NewCond(&mu)
+		s.Spawn("p", func(p *vtime.Proc) {
+			c.Signal()
+			c.Broadcast()
+		})
+	})
+}
+
+func TestSemAcquireNegativePanics(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		sem := NewSem(1)
+		s.Spawn("p", func(p *vtime.Proc) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			sem.Acquire(p, -1)
+		})
+	})
+}
+
+func TestSemReleaseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSem(0).Release(-1)
+}
+
+func TestSemFIFOBlocksTryAcquireBehindWaiters(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		sem := NewSem(0)
+		s.Spawn("waiter", func(p *vtime.Proc) {
+			sem.Acquire(p, 1)
+		})
+		s.Spawn("opportunist", func(p *vtime.Proc) {
+			p.Sleep(vtime.Microsecond)
+			// A queued waiter exists: TryAcquire must not cut in
+			// even after a release.
+			sem.Release(1)
+			if sem.TryAcquire(1) {
+				t.Error("TryAcquire jumped the FIFO queue")
+			}
+		})
+	})
+}
+
+func TestChanCloseWithBlockedSenderPanicsSender(t *testing.T) {
+	s := vtime.New()
+	ch := NewChan[int]("x", 0)
+	s.Spawn("sender", func(p *vtime.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic in blocked sender on close")
+			}
+		}()
+		ch.Send(p, 1)
+	})
+	s.Spawn("closer", func(p *vtime.Proc) {
+		p.Sleep(vtime.Microsecond)
+		ch.Close()
+	})
+	_ = s.Run()
+}
+
+func TestChanDoubleClosePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch := NewChan[int]("x", 1)
+	ch.Close()
+	ch.Close()
+}
+
+func TestChanNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChan[int]("x", -1)
+}
+
+func TestChanNameAccessor(t *testing.T) {
+	if NewChan[int]("mailbox", 1).Name() != "mailbox" {
+		t.Fatal("name accessor wrong")
+	}
+}
+
+func TestMutexUnlockWhenFreePanics(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		s.Spawn("p", func(p *vtime.Proc) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			mu.Unlock(p)
+		})
+	})
+}
+
+func TestWaitGroupReuse(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var wg WaitGroup
+		for round := 0; round < 3; round++ {
+			round := round
+			wg.Add(2)
+			for i := 0; i < 2; i++ {
+				s.Spawn("w", func(p *vtime.Proc) {
+					p.Sleep(vtime.Duration(round+1) * vtime.Microsecond)
+					wg.Done()
+				})
+			}
+		}
+		s.Spawn("waiter", func(p *vtime.Proc) {
+			wg.Wait(p)
+			if p.Now() != vtime.Time(3*vtime.Microsecond) {
+				t.Errorf("released at %v", p.Now())
+			}
+		})
+	})
+}

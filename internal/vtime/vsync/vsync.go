@@ -1,0 +1,197 @@
+// Package vsync provides synchronization primitives for vtime processes:
+// mutexes, condition variables, semaphores, typed channels and wait groups.
+//
+// They mirror the thread primitives the original Madeleine gateway code uses
+// (Marcel threads), but block in virtual time. All operations must be called
+// from the currently running simulation process, which is passed explicitly;
+// misuse panics immediately.
+package vsync
+
+import (
+	"madgo/internal/vtime"
+)
+
+// Mutex is a FIFO mutual-exclusion lock for simulation processes. The zero
+// value is an unlocked mutex.
+type Mutex struct {
+	owner   *vtime.Proc
+	waiters []*vtime.Waker
+}
+
+// Lock acquires the mutex, blocking p until it is available. The lock is not
+// reentrant; relocking by the owner panics (it would self-deadlock anyway,
+// so fail fast).
+func (m *Mutex) Lock(p *vtime.Proc) {
+	if m.owner == p {
+		panic("vsync: recursive Mutex.Lock")
+	}
+	if m.owner == nil {
+		m.owner = p
+		return
+	}
+	w := p.Blocker("mutex")
+	m.waiters = append(m.waiters, w)
+	w.Wait()
+	if m.owner != p {
+		panic("vsync: mutex handoff corrupted")
+	}
+}
+
+// TryLock acquires the mutex without blocking and reports whether it
+// succeeded.
+func (m *Mutex) TryLock(p *vtime.Proc) bool {
+	if m.owner == nil {
+		m.owner = p
+		return true
+	}
+	return false
+}
+
+// Unlock releases the mutex, handing it to the longest-waiting process.
+func (m *Mutex) Unlock(p *vtime.Proc) {
+	if m.owner != p {
+		panic("vsync: Unlock by non-owner")
+	}
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	w := m.waiters[0]
+	m.waiters = m.waiters[:copy(m.waiters, m.waiters[1:])]
+	m.owner = w.Proc()
+	w.Wake()
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Cond is a condition variable bound to a Mutex, with the usual
+// Wait/Signal/Broadcast semantics. Unlike sync.Cond there are no spurious
+// wakeups, but callers should still re-check their predicate in a loop: a
+// signalled process reacquires the lock after other processes may have run.
+type Cond struct {
+	L       *Mutex
+	waiters []*vtime.Waker
+}
+
+// NewCond returns a condition variable using l.
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+
+// Wait atomically unlocks the mutex, parks p until Signal or Broadcast, and
+// relocks before returning.
+func (c *Cond) Wait(p *vtime.Proc) {
+	w := p.Blocker("cond wait")
+	c.waiters = append(c.waiters, w)
+	c.L.Unlock(p)
+	w.Wait()
+	c.L.Lock(p)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[:copy(c.waiters, c.waiters[1:])]
+	w.Wake()
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// Sem is a counting semaphore. The zero value has zero permits.
+type Sem struct {
+	permits int
+	waiters []semWaiter
+}
+
+type semWaiter struct {
+	w *vtime.Waker
+	n int
+}
+
+// NewSem returns a semaphore holding n permits.
+func NewSem(n int) *Sem { return &Sem{permits: n} }
+
+// Acquire takes n permits, blocking until they are available. Waiters are
+// served strictly FIFO, so a large acquire is not starved by small ones.
+func (s *Sem) Acquire(p *vtime.Proc, n int) {
+	if n < 0 {
+		panic("vsync: Acquire with negative count")
+	}
+	if len(s.waiters) == 0 && s.permits >= n {
+		s.permits -= n
+		return
+	}
+	w := p.Blocker("semaphore")
+	s.waiters = append(s.waiters, semWaiter{w: w, n: n})
+	w.Wait()
+}
+
+// TryAcquire takes n permits without blocking and reports success.
+func (s *Sem) TryAcquire(n int) bool {
+	if len(s.waiters) == 0 && s.permits >= n {
+		s.permits -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and serves queued waiters in order.
+func (s *Sem) Release(n int) {
+	if n < 0 {
+		panic("vsync: Release with negative count")
+	}
+	s.permits += n
+	for len(s.waiters) > 0 && s.permits >= s.waiters[0].n {
+		sw := s.waiters[0]
+		s.waiters = s.waiters[:copy(s.waiters, s.waiters[1:])]
+		s.permits -= sw.n
+		sw.w.Wake()
+	}
+}
+
+// Available returns the number of free permits.
+func (s *Sem) Available() int { return s.permits }
+
+// WaitGroup waits for a collection of processes to finish, mirroring
+// sync.WaitGroup.
+type WaitGroup struct {
+	count   int
+	waiters []*vtime.Waker
+}
+
+// Add adds delta to the counter. A negative total panics.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("vsync: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			w.Wake()
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *vtime.Proc) {
+	if wg.count == 0 {
+		return
+	}
+	w := p.Blocker("waitgroup")
+	wg.waiters = append(wg.waiters, w)
+	w.Wait()
+}

@@ -1,0 +1,288 @@
+package vsync
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"madgo/internal/vtime"
+)
+
+// runSim builds a simulation, lets body spawn processes, runs it to
+// completion and fails the test on deadlock.
+func runSim(t *testing.T, body func(s *vtime.Sim)) {
+	t.Helper()
+	s := vtime.New()
+	body(s)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexExclusion(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		inside := 0
+		for i := 0; i < 4; i++ {
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *vtime.Proc) {
+				for k := 0; k < 3; k++ {
+					mu.Lock(p)
+					inside++
+					if inside != 1 {
+						t.Errorf("mutual exclusion violated: inside=%d", inside)
+					}
+					p.Sleep(vtime.Microsecond)
+					inside--
+					mu.Unlock(p)
+				}
+			})
+		}
+	})
+}
+
+func TestMutexFIFO(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		var order []string
+		s.Spawn("holder", func(p *vtime.Proc) {
+			mu.Lock(p)
+			p.Sleep(10 * vtime.Microsecond)
+			mu.Unlock(p)
+		})
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("w%d", i)
+			delay := vtime.Duration(i+1) * vtime.Microsecond
+			s.Spawn(name, func(p *vtime.Proc) {
+				p.Sleep(delay) // arrival order w0, w1, w2
+				mu.Lock(p)
+				order = append(order, name)
+				mu.Unlock(p)
+			})
+		}
+		s.Spawn("check", func(p *vtime.Proc) {
+			p.Sleep(vtime.Millisecond)
+			if got := strings.Join(order, ","); got != "w0,w1,w2" {
+				t.Errorf("order = %s, want w0,w1,w2", got)
+			}
+		})
+	})
+}
+
+func TestMutexRecursivePanics(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		s.Spawn("p", func(p *vtime.Proc) {
+			mu.Lock(p)
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on recursive lock")
+				}
+				mu.Unlock(p)
+			}()
+			mu.Lock(p)
+		})
+	})
+}
+
+func TestMutexUnlockByStrangerPanics(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		s.Spawn("owner", func(p *vtime.Proc) {
+			mu.Lock(p)
+			p.Sleep(5 * vtime.Microsecond)
+			mu.Unlock(p)
+		})
+		s.Spawn("stranger", func(p *vtime.Proc) {
+			p.Sleep(vtime.Microsecond)
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on foreign unlock")
+				}
+			}()
+			mu.Unlock(p)
+		})
+	})
+}
+
+func TestTryLock(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		s.Spawn("p", func(p *vtime.Proc) {
+			if !mu.TryLock(p) {
+				t.Error("TryLock on free mutex failed")
+			}
+			if mu.TryLock(p) {
+				t.Error("TryLock on held mutex succeeded")
+			}
+			mu.Unlock(p)
+			if mu.Locked() {
+				t.Error("mutex still locked after unlock")
+			}
+		})
+	})
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		c := NewCond(&mu)
+		ready := 0
+		woken := 0
+		for i := 0; i < 3; i++ {
+			s.Spawn(fmt.Sprintf("waiter%d", i), func(p *vtime.Proc) {
+				mu.Lock(p)
+				ready++
+				c.Wait(p)
+				woken++
+				mu.Unlock(p)
+			})
+		}
+		s.Spawn("signaler", func(p *vtime.Proc) {
+			p.Sleep(vtime.Microsecond)
+			mu.Lock(p)
+			if ready != 3 {
+				t.Errorf("ready = %d, want 3", ready)
+			}
+			c.Signal()
+			mu.Unlock(p)
+			p.Sleep(vtime.Microsecond)
+			if woken != 1 {
+				t.Errorf("woken = %d after Signal, want 1", woken)
+			}
+			mu.Lock(p)
+			c.Broadcast()
+			mu.Unlock(p)
+			p.Sleep(vtime.Microsecond)
+			if woken != 3 {
+				t.Errorf("woken = %d after Broadcast, want 3", woken)
+			}
+		})
+	})
+}
+
+func TestCondWaitReleasesLock(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var mu Mutex
+		c := NewCond(&mu)
+		s.Spawn("waiter", func(p *vtime.Proc) {
+			mu.Lock(p)
+			c.Wait(p)
+			mu.Unlock(p)
+		})
+		s.Spawn("prober", func(p *vtime.Proc) {
+			p.Sleep(vtime.Microsecond)
+			mu.Lock(p) // must succeed while waiter waits
+			c.Signal()
+			mu.Unlock(p)
+		})
+	})
+}
+
+func TestSemCounts(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		sem := NewSem(2)
+		var peak, cur int
+		for i := 0; i < 5; i++ {
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *vtime.Proc) {
+				sem.Acquire(p, 1)
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				p.Sleep(vtime.Microsecond)
+				cur--
+				sem.Release(1)
+			})
+		}
+		s.Spawn("check", func(p *vtime.Proc) {
+			p.Sleep(vtime.Millisecond)
+			if peak != 2 {
+				t.Errorf("peak = %d, want 2", peak)
+			}
+			if sem.Available() != 2 {
+				t.Errorf("available = %d, want 2", sem.Available())
+			}
+		})
+	})
+}
+
+func TestSemFIFOLargeNotStarved(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		sem := NewSem(2)
+		var order []string
+		s.Spawn("hog", func(p *vtime.Proc) {
+			sem.Acquire(p, 2)
+			p.Sleep(10 * vtime.Microsecond)
+			sem.Release(2)
+		})
+		s.Spawn("big", func(p *vtime.Proc) {
+			p.Sleep(vtime.Microsecond)
+			sem.Acquire(p, 2) // queues first
+			order = append(order, "big")
+			sem.Release(2)
+		})
+		s.Spawn("small", func(p *vtime.Proc) {
+			p.Sleep(2 * vtime.Microsecond)
+			sem.Acquire(p, 1) // would starve big if served eagerly
+			order = append(order, "small")
+			sem.Release(1)
+		})
+		s.Spawn("check", func(p *vtime.Proc) {
+			p.Sleep(vtime.Millisecond)
+			if got := strings.Join(order, ","); got != "big,small" {
+				t.Errorf("order = %s, want big,small", got)
+			}
+		})
+	})
+}
+
+func TestTryAcquire(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		sem := NewSem(1)
+		s.Spawn("p", func(p *vtime.Proc) {
+			if !sem.TryAcquire(1) {
+				t.Error("TryAcquire failed on free semaphore")
+			}
+			if sem.TryAcquire(1) {
+				t.Error("TryAcquire succeeded on empty semaphore")
+			}
+			sem.Release(1)
+		})
+	})
+}
+
+func TestWaitGroup(t *testing.T) {
+	runSim(t, func(s *vtime.Sim) {
+		var wg WaitGroup
+		var doneAt vtime.Time
+		wg.Add(3)
+		for i := 0; i < 3; i++ {
+			d := vtime.Duration(i+1) * vtime.Microsecond
+			s.Spawn(fmt.Sprintf("w%d", i), func(p *vtime.Proc) {
+				p.Sleep(d)
+				wg.Done()
+			})
+		}
+		s.Spawn("waiter", func(p *vtime.Proc) {
+			wg.Wait(p)
+			doneAt = p.Now()
+			wg.Wait(p) // zero counter: returns immediately
+		})
+		s.Spawn("check", func(p *vtime.Proc) {
+			p.Sleep(vtime.Millisecond)
+			if doneAt != vtime.Time(3*vtime.Microsecond) {
+				t.Errorf("waiter released at %v, want 3µs", doneAt)
+			}
+		})
+	})
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var wg WaitGroup
+	wg.Done()
+}

@@ -1,0 +1,319 @@
+// Package madeleine is the public face of madgo, a Go reproduction of the
+// Madeleine multi-device communication library with the transparent
+// inter-device data-forwarding mechanism of Aumage, Eyraud and Namyst
+// ("Efficient Inter-Device Data-Forwarding in the Madeleine Communication
+// Library", 2001).
+//
+// A System is a simulated cluster of clusters: nodes with calibrated
+// 2001-era hardware (PCI buses, Myrinet/BIP, SCI/SISCI, Fast Ethernet, SBP
+// NICs), one virtual channel spanning the declared networks, and forwarding
+// gateways on every node that bridges two of them. Application code runs as
+// virtual-time processes and exchanges messages with the paper's
+// incremental packing interface:
+//
+//	sys, _ := madeleine.NewSystem(`
+//		network sci0 sci
+//		network myri0 myrinet
+//		node a0 sci0
+//		node gw sci0 myri0
+//		node b0 myri0
+//	`)
+//	sys.Spawn("sender", func(p *madeleine.Proc) {
+//		px := sys.At("a0").BeginPacking(p, "b0")
+//		px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+//		px.EndPacking(p)
+//	})
+//	sys.Spawn("receiver", func(p *madeleine.Proc) {
+//		u := sys.At("b0").BeginUnpacking(p)
+//		u.Unpack(p, buf, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+//		u.EndUnpacking(p)
+//	})
+//	err := sys.Run()
+//
+// Messages between nodes that share a network travel directly; everything
+// else is fragmented by the generic transmission module, relayed through
+// gateway pipelines, and reassembled — invisibly to the application, as in
+// the paper.
+//
+// The implementation lives in internal packages (vtime, fluid, hw, mad,
+// fwd, ...); this package re-exports the pieces a user composes. In an
+// upstream open-source release the internal packages would be promoted;
+// they are documented to the same standard.
+package madeleine
+
+import (
+	"fmt"
+
+	"madgo/internal/bench"
+	"madgo/internal/coll"
+	"madgo/internal/drivers/bip"
+	"madgo/internal/drivers/loopback"
+	"madgo/internal/drivers/sbp"
+	"madgo/internal/drivers/sisci"
+	"madgo/internal/drivers/tcpnet"
+	"madgo/internal/fwd"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/route"
+	"madgo/internal/topo"
+	"madgo/internal/trace"
+	"madgo/internal/vtime"
+)
+
+// Re-exported core types. Proc is a simulated thread; all communication
+// calls take the calling process explicitly.
+type (
+	// Proc is a virtual-time process handle.
+	Proc = vtime.Proc
+	// Time is an absolute virtual timestamp (nanoseconds).
+	Time = vtime.Time
+	// Duration is a span of virtual time.
+	Duration = vtime.Duration
+	// Rank identifies a node in the session.
+	Rank = mad.Rank
+	// SendMode is a block's emission constraint.
+	SendMode = mad.SendMode
+	// RecvMode is a block's reception constraint.
+	RecvMode = mad.RecvMode
+	// Packing is an in-progress outgoing message on the virtual channel.
+	Packing = fwd.Packing
+	// Unpacking is an in-progress incoming message.
+	Unpacking = fwd.Unpacking
+	// Topology describes networks, nodes and gateways.
+	Topology = topo.Topology
+	// Tracer records gateway pipeline spans.
+	Tracer = trace.Tracer
+	// Experiment is a regenerable table/figure of the paper.
+	Experiment = bench.Experiment
+	// Comm is a collective-operations communicator over the virtual
+	// channel (barrier, broadcast, reduce, allreduce, gather).
+	Comm = coll.Comm
+	// ReduceOp combines float64 vectors element-wise in reductions.
+	ReduceOp = coll.Op
+)
+
+// Reduction operators for Comm.Reduce/AllReduce.
+var (
+	OpSum ReduceOp = coll.Sum
+	OpMax ReduceOp = coll.Max
+	OpMin ReduceOp = coll.Min
+)
+
+// Pack/unpack flag constants, mirroring mad_pack's flag pairs.
+const (
+	SendCheaper = mad.SendCheaper
+	SendSafer   = mad.SendSafer
+	SendLater   = mad.SendLater
+
+	ReceiveCheaper = mad.ReceiveCheaper
+	ReceiveExpress = mad.ReceiveExpress
+)
+
+// Virtual-time duration units.
+const (
+	Nanosecond  = vtime.Nanosecond
+	Microsecond = vtime.Microsecond
+	Millisecond = vtime.Millisecond
+	Second      = vtime.Second
+)
+
+// Options tunes a System.
+type Options struct {
+	// MTU is the generic transmission module's packet size (default
+	// 32 KB).
+	MTU int
+	// AutoMTU derives MTU from the NIC models instead (two-network
+	// configurations only).
+	AutoMTU bool
+	// PipelineDepth is the number of buffers each gateway pipeline
+	// rotates (default 2, the paper's double buffering).
+	PipelineDepth int
+	// DisableZeroCopy turns off the §2.3 buffer election (every relayed
+	// packet pays a staging copy).
+	DisableZeroCopy bool
+	// InflowLimit throttles gateway receive loops to this many bytes/s
+	// (0 = off).
+	InflowLimit float64
+	// Tracer, when non-nil, records gateway pipeline activity.
+	Tracer *Tracer
+	// RouteNetworks restricts the virtual channel to the named networks
+	// (e.g. the high-speed ones) when the configuration also declares a
+	// control network.
+	RouteNetworks []string
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithMTU sets the GTM packet size.
+func WithMTU(n int) Option { return func(o *Options) { o.MTU = n } }
+
+// WithAutoMTU derives the GTM packet size analytically from the NIC models
+// of the virtual channel's networks (the §3.2.2 "chosen at compile time"
+// computation, see fwd.SuggestMTU). It requires the channel to span exactly
+// two networks — the paper's configuration; with more, set WithMTU
+// explicitly.
+func WithAutoMTU() Option { return func(o *Options) { o.AutoMTU = true } }
+
+// WithPipelineDepth sets the gateway buffer count.
+func WithPipelineDepth(n int) Option { return func(o *Options) { o.PipelineDepth = n } }
+
+// WithoutZeroCopy disables the gateway buffer election.
+func WithoutZeroCopy() Option { return func(o *Options) { o.DisableZeroCopy = true } }
+
+// WithInflowLimit throttles gateway ingress.
+func WithInflowLimit(bytesPerSec float64) Option {
+	return func(o *Options) { o.InflowLimit = bytesPerSec }
+}
+
+// WithTracer attaches a pipeline tracer.
+func WithTracer(tr *Tracer) Option { return func(o *Options) { o.Tracer = tr } }
+
+// WithRouteNetworks restricts the virtual channel to the named networks.
+func WithRouteNetworks(names ...string) Option {
+	return func(o *Options) { o.RouteNetworks = names }
+}
+
+// System is a running simulated cluster of clusters.
+type System struct {
+	Sim      *vtime.Sim
+	Session  *mad.Session
+	Channel  *fwd.VirtualChannel
+	Topology *topo.Topology
+}
+
+// NewSystem parses a textual topology (see the topo format in README) and
+// assembles the platform, drivers, virtual channel and gateways.
+func NewSystem(config string, opts ...Option) (*System, error) {
+	tp, err := topo.Parse(config)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystemFromTopology(tp, opts...)
+}
+
+// NewSystemFromTopology is NewSystem for an already-built topology.
+func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
+	o := Options{MTU: 32 * 1024, PipelineDepth: 2}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	vcTopo := tp
+	if len(o.RouteNetworks) > 0 {
+		var err error
+		vcTopo, err = tp.Restrict(o.RouteNetworks...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	bindings := make(map[string]fwd.Binding)
+	for _, nw := range vcTopo.Networks() {
+		drv, err := driverFor(nw.Protocol)
+		if err != nil {
+			return nil, err
+		}
+		bindings[nw.Name] = fwd.Binding{Net: pl.NewNetwork(nw.Name, drv.NIC()), Drv: drv}
+	}
+	if o.AutoMTU {
+		nets := vcTopo.Networks()
+		if len(nets) != 2 {
+			return nil, fmt.Errorf("madeleine: AutoMTU needs exactly two networks, have %d", len(nets))
+		}
+		o.MTU = fwd.SuggestMTU(
+			bindings[nets[0].Name].Drv.NIC(),
+			bindings[nets[1].Name].Drv.NIC(),
+			hw.DefaultCPU())
+	}
+	cfg := fwd.Config{
+		MTU:           o.MTU,
+		PipelineDepth: o.PipelineDepth,
+		ZeroCopy:      !o.DisableZeroCopy,
+		InflowLimit:   o.InflowLimit,
+		Tracer:        o.Tracer,
+	}
+	vc, err := fwd.Build(sess, vcTopo, bindings, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Sim: sim, Session: sess, Channel: vc, Topology: tp}, nil
+}
+
+func driverFor(protocol string) (mad.Driver, error) {
+	switch protocol {
+	case "sci":
+		return sisci.New(), nil
+	case "myrinet":
+		return bip.New(), nil
+	case "ethernet":
+		return tcpnet.New(), nil
+	case "sbp":
+		return sbp.New(), nil
+	case "loopback":
+		return loopback.New(), nil
+	default:
+		return nil, fmt.Errorf("madeleine: no driver for protocol %q", protocol)
+	}
+}
+
+// Spawn starts an application process at virtual time now.
+func (s *System) Spawn(name string, fn func(*Proc)) {
+	s.Sim.Spawn(name, fn)
+}
+
+// Run executes the simulation until every application process finishes. A
+// DeadlockError names the stuck processes and what they wait on.
+func (s *System) Run() error { return s.Sim.Run() }
+
+// Now returns the current virtual time.
+func (s *System) Now() Time { return s.Sim.Now() }
+
+// At returns the virtual-channel endpoint of the named node.
+func (s *System) At(node string) *fwd.Endpoint { return s.Channel.At(node) }
+
+// Rank returns the session rank of the named node.
+func (s *System) Rank(node string) Rank { return s.Channel.NodeRank(node) }
+
+// NodeName returns the name of the node with the given rank.
+func (s *System) NodeName(r Rank) string { return s.Session.Node(r).Name }
+
+// Gateways returns the nodes running forwarding engines.
+func (s *System) Gateways() []string { return s.Channel.Gateways() }
+
+// GatewayStats returns messages, packets and payload bytes relayed by the
+// named gateway.
+func (s *System) GatewayStats(name string) (messages, packets, bytes int64) {
+	g := s.Channel.Gateway(name)
+	return g.Messages(), g.Packets(), g.Bytes()
+}
+
+// Routes renders the routing table of the virtual channel.
+func (s *System) Routes() string { return s.Channel.Table().String() }
+
+// Copies returns the CPU copy accounting summed over all nodes.
+func (s *System) Copies() (count, bytes int64) { return s.Session.Copies() }
+
+// CommAt creates the collective communicator of node self over the given
+// member group (same list, same order, on every participant).
+func (s *System) CommAt(self string, members ...string) (*Comm, error) {
+	return coll.New(s.Channel, members, self)
+}
+
+// NewTracer returns an empty pipeline tracer for WithTracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// Experiments returns the registered paper experiments (fig6, fig7, t1...,
+// a5); see cmd/madbench for a command-line runner.
+func Experiments() []*Experiment { return bench.All() }
+
+// RouteTable computes the routing table of an arbitrary topology without
+// building a system (used by cmd/madtopo).
+func RouteTable(tp *Topology) string { return route.Compute(tp).String() }
+
+// ParseTopology parses the textual configuration format.
+func ParseTopology(config string) (*Topology, error) { return topo.Parse(config) }
+
+// PaperTestbed returns the paper's §3 evaluation configuration.
+func PaperTestbed() *Topology { return topo.PaperTestbed() }

@@ -1,0 +1,236 @@
+package madeleine_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	madeleine "madgo"
+)
+
+const demoConfig = `
+# two clusters, one gateway
+network sci0 sci
+network myri0 myrinet
+node a0 sci0
+node a1 sci0
+node gw sci0 myri0
+node b0 myri0
+node b1 myri0
+`
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, err := madeleine.NewSystem(demoConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	var got []byte
+	var forwarded bool
+	var from madeleine.Rank
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("a0").BeginPacking(p, "b1")
+		px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		u := sys.At("b1").BeginUnpacking(p)
+		got = make([]byte, len(payload))
+		u.Unpack(p, got, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+		forwarded = u.Forwarded()
+		from = u.From()
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted")
+	}
+	if !forwarded {
+		t.Error("not forwarded")
+	}
+	if sys.NodeName(from) != "a0" {
+		t.Errorf("From = %v", from)
+	}
+	msgs, pkts, b := sys.GatewayStats("gw")
+	if msgs != 1 || pkts == 0 || b != int64(len(payload)) {
+		t.Errorf("gateway stats = %d/%d/%d", msgs, pkts, b)
+	}
+	if gws := sys.Gateways(); len(gws) != 1 || gws[0] != "gw" {
+		t.Errorf("gateways = %v", gws)
+	}
+	if sys.Now() == 0 {
+		t.Error("virtual time did not advance")
+	}
+}
+
+func TestSystemOptions(t *testing.T) {
+	tr := madeleine.NewTracer()
+	sys, err := madeleine.NewSystem(demoConfig,
+		madeleine.WithMTU(8*1024),
+		madeleine.WithPipelineDepth(3),
+		madeleine.WithTracer(tr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Spawn("s", func(p *madeleine.Proc) {
+		px := sys.At("a0").BeginPacking(p, "b0")
+		px.Pack(p, make([]byte, 64*1024), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("r", func(p *madeleine.Proc) {
+		u := sys.At("b0").BeginUnpacking(p)
+		u.Unpack(p, make([]byte, 64*1024), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans()) == 0 {
+		t.Error("tracer recorded nothing")
+	}
+	_, _, bytes := sys.GatewayStats("gw")
+	if bytes != 64*1024 {
+		t.Errorf("gateway bytes = %d", bytes)
+	}
+}
+
+func TestSystemRouteRestriction(t *testing.T) {
+	cfg := `
+network sci0 sci
+network myri0 myrinet
+network eth0 ethernet
+node a0 sci0 eth0
+node gw sci0 myri0 eth0
+node b0 myri0 eth0
+`
+	sys, err := madeleine.NewSystem(cfg, madeleine.WithRouteNetworks("sci0", "myri0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := sys.Routes()
+	if strings.Contains(routes, "eth0") {
+		t.Errorf("routes use the control network:\n%s", routes)
+	}
+	if !strings.Contains(routes, "-[sci0]-> gw -[myri0]-> b0") {
+		t.Errorf("missing forwarded route:\n%s", routes)
+	}
+}
+
+func TestSystemErrors(t *testing.T) {
+	if _, err := madeleine.NewSystem("garbage directive"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := madeleine.NewSystem("network x warpdrive\nnode a x\nnode b x\n"); err == nil {
+		t.Error("expected unknown-protocol error")
+	}
+	if _, err := madeleine.NewSystem(demoConfig, madeleine.WithMTU(-1)); err == nil {
+		t.Error("expected config error")
+	}
+	if _, err := madeleine.NewSystem(demoConfig, madeleine.WithRouteNetworks("nope")); err == nil {
+		t.Error("expected restriction error")
+	}
+}
+
+func TestDeadlockSurfacesAsError(t *testing.T) {
+	sys, err := madeleine.NewSystem(demoConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Spawn("lonely-receiver", func(p *madeleine.Proc) {
+		sys.At("b0").BeginUnpacking(p) // nobody ever sends
+	})
+	err = sys.Run()
+	if err == nil || !strings.Contains(err.Error(), "lonely-receiver") {
+		t.Fatalf("err = %v, want deadlock naming the process", err)
+	}
+}
+
+func TestExperimentsExposed(t *testing.T) {
+	exps := madeleine.Experiments()
+	if len(exps) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig6", "fig7", "t1", "headline"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestPaperTestbedHelpers(t *testing.T) {
+	tp := madeleine.PaperTestbed()
+	if rt := madeleine.RouteTable(tp); !strings.Contains(rt, "gw") {
+		t.Error("route table missing gateway")
+	}
+	if _, err := madeleine.ParseTopology(tp.String()); err != nil {
+		t.Errorf("round trip: %v", err)
+	}
+	sys, err := madeleine.NewSystemFromTopology(tp, madeleine.WithRouteNetworks("sci0", "myri0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Gateways()) != 1 {
+		t.Errorf("gateways = %v", sys.Gateways())
+	}
+}
+
+func TestBidirectionalPingPong(t *testing.T) {
+	sys, err := madeleine.NewSystem(demoConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	sys.Spawn("a-side", func(p *madeleine.Proc) {
+		for i := 0; i < rounds; i++ {
+			px := sys.At("a1").BeginPacking(p, "b1")
+			px.Pack(p, []byte{byte(i)}, madeleine.SendCheaper, madeleine.ReceiveExpress)
+			px.EndPacking(p)
+			u := sys.At("a1").BeginUnpacking(p)
+			echo := make([]byte, 1)
+			u.Unpack(p, echo, madeleine.SendCheaper, madeleine.ReceiveExpress)
+			u.EndUnpacking(p)
+			if echo[0] != byte(i) {
+				t.Errorf("round %d: echo %d", i, echo[0])
+			}
+		}
+	})
+	sys.Spawn("b-side", func(p *madeleine.Proc) {
+		for i := 0; i < rounds; i++ {
+			u := sys.At("b1").BeginUnpacking(p)
+			v := make([]byte, 1)
+			u.Unpack(p, v, madeleine.SendCheaper, madeleine.ReceiveExpress)
+			u.EndUnpacking(p)
+			px := sys.At("b1").BeginPacking(p, "a1")
+			px.Pack(p, v, madeleine.SendCheaper, madeleine.ReceiveExpress)
+			px.EndPacking(p)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoMTU(t *testing.T) {
+	sys, err := madeleine.NewSystem(demoConfig, madeleine.WithAutoMTU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtu := sys.Channel.Config().MTU; mtu < 32*1024 {
+		t.Errorf("auto MTU = %d, want the analytic optimum (>= 32 KB)", mtu)
+	}
+	// Three networks: AutoMTU must refuse.
+	cfg3 := demoConfig + "network x0 sbp\nnode s1 x0\nnode gw2 myri0 x0\n"
+	if _, err := madeleine.NewSystem(cfg3, madeleine.WithAutoMTU()); err == nil {
+		t.Error("expected AutoMTU error for three networks")
+	}
+}
