@@ -7,6 +7,7 @@
 //	madping                                   # paper testbed, a1 -> b1
 //	madping -from a0 -to b0 -sizes 4096,65536
 //	madping -config cluster.topo -from n1 -to n9 -mtu 16384
+//	madping -loss 0.05 -seed 42               # goodput under 5% packet loss
 //
 // The topology file uses the format of cmd/madtopo; when -config is absent
 // the paper's SCI+Myrinet testbed is used.
@@ -29,20 +30,40 @@ func main() {
 		to     = flag.String("to", "b1", "destination node")
 		sizes  = flag.String("sizes", "4096,16384,65536,262144,1048576,4194304", "comma-separated message sizes in bytes")
 		mtu    = flag.Int("mtu", 32*1024, "forwarding packet size")
+
+		seed     = flag.Int64("seed", 1, "fault-injection seed")
+		loss     = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
+		corrupt  = flag.Float64("corrupt", 0, "packet corruption probability (switches on reliable delivery)")
+		reliable = flag.Bool("reliable", false, "use reliable delivery even without faults")
 	)
 	flag.Parse()
+
+	var opts []madeleine.Option
+	if *loss > 0 || *corrupt > 0 {
+		plan := madeleine.NewFaultPlan(*seed)
+		if *loss > 0 {
+			plan.Drop("*", *loss)
+		}
+		if *corrupt > 0 {
+			plan.Corrupt("*", *corrupt)
+		}
+		opts = append(opts, madeleine.WithFaults(plan))
+	} else if *reliable {
+		opts = append(opts, madeleine.WithReliableDelivery())
+	}
 
 	var sys *madeleine.System
 	var err error
 	if *config == "" {
 		sys, err = madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
-			madeleine.WithMTU(*mtu), madeleine.WithRouteNetworks("sci0", "myri0"))
+			append(opts, madeleine.WithMTU(*mtu),
+				madeleine.WithRouteNetworks("sci0", "myri0"))...)
 	} else {
 		text, rerr := os.ReadFile(*config)
 		if rerr != nil {
 			fatal(rerr)
 		}
-		sys, err = madeleine.NewSystem(string(text), madeleine.WithMTU(*mtu))
+		sys, err = madeleine.NewSystem(string(text), append(opts, madeleine.WithMTU(*mtu))...)
 	}
 	if err != nil {
 		fatal(err)
@@ -87,8 +108,12 @@ func main() {
 		fmt.Printf("%10d  %14v  %10.1f\n", n, madeleine.Duration(d), mbps)
 	}
 	for _, g := range sys.Gateways() {
-		msgs, pkts, bytes := sys.GatewayStats(g)
-		fmt.Printf("gateway %s relayed %d messages / %d packets / %d bytes\n", g, msgs, pkts, bytes)
+		gs, _ := sys.GatewayStats(g)
+		fmt.Printf("gateway %s relayed %d messages / %d packets / %d bytes\n", g, gs.Messages, gs.Packets, gs.Bytes)
+	}
+	if ds := sys.DeliveryStats(); ds != (madeleine.DeliveryStats{}) {
+		fmt.Printf("recovery: %d retransmits, %d message resends, %d failovers, %d checksum drops, %d duplicates\n",
+			ds.Retransmits, ds.MessageResends, ds.Failovers, ds.ChecksumDrops, ds.Duplicates)
 	}
 }
 

@@ -6,6 +6,8 @@
 //	madtrace                      # SCI -> Myrinet (Figure 5)
 //	madtrace -dir m2s             # Myrinet -> SCI (Figure 8)
 //	madtrace -mtu 16384 -bytes 262144 -spans
+//	madtrace -loss 0.05 -seed 42  # reliable delivery under 5% packet loss
+//	madtrace -crash 2ms           # the gateway dies mid-transfer
 package main
 
 import (
@@ -23,6 +25,11 @@ func main() {
 		bytes = flag.Int("bytes", 256*1024, "message size")
 		cols  = flag.Int("cols", 100, "timeline width in columns")
 		spans = flag.Bool("spans", false, "also list raw spans")
+
+		seed    = flag.Int64("seed", 1, "fault-injection seed")
+		loss    = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
+		corrupt = flag.Float64("corrupt", 0, "packet corruption probability (switches on reliable delivery)")
+		crash   = flag.Duration("crash", 0, "crash the gateway at this virtual time (0 = never)")
 	)
 	flag.Parse()
 
@@ -38,9 +45,24 @@ func main() {
 	}
 
 	tr := madeleine.NewTracer()
-	sys, err := madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
+	opts := []madeleine.Option{
 		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr),
-		madeleine.WithRouteNetworks("sci0", "myri0"))
+		madeleine.WithRouteNetworks("sci0", "myri0"),
+	}
+	if *loss > 0 || *corrupt > 0 || *crash > 0 {
+		plan := madeleine.NewFaultPlan(*seed)
+		if *loss > 0 {
+			plan.Drop("*", *loss)
+		}
+		if *corrupt > 0 {
+			plan.Corrupt("*", *corrupt)
+		}
+		if *crash > 0 {
+			plan.Crash("gw", madeleine.Time(crash.Nanoseconds()), 0)
+		}
+		opts = append(opts, madeleine.WithFaults(plan))
+	}
+	sys, err := madeleine.NewSystemFromTopology(madeleine.PaperTestbed(), opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "madtrace:", err)
 		os.Exit(1)
@@ -69,6 +91,12 @@ func main() {
 		float64(n)/(float64(done)/1e9)/1e6)
 	fmt.Println(tr.Timeline(0, done, *cols))
 	fmt.Println("r = receive step, s = send step, x = buffer switch overhead")
+	if ds := sys.DeliveryStats(); ds != (madeleine.DeliveryStats{}) {
+		fmt.Println("R = retransmit, M = message resend, F = failover, e = e2e ack")
+		fmt.Println("d = drop, c = corruption discard, D = duplicate, C = crash, ~ = link flap")
+		fmt.Printf("recovery: %d retransmits, %d message resends, %d failovers, %d checksum drops, %d duplicates\n",
+			ds.Retransmits, ds.MessageResends, ds.Failovers, ds.ChecksumDrops, ds.Duplicates)
+	}
 	if *spans {
 		fmt.Println()
 		for _, s := range tr.Spans() {

@@ -84,8 +84,8 @@ func main() {
 	if err := sys.Run(); err != nil {
 		log.Fatal(err)
 	}
-	msgs, pkts, bytes := sys.GatewayStats("gw")
+	gs, _ := sys.GatewayStats("gw")
 	fmt.Printf("\nconverged to %.3e after %d iterations at t=%v\n", finalResidual, iterations, sys.Now())
-	fmt.Printf("gateway relayed %d messages / %d packets / %d bytes of collective traffic\n", msgs, pkts, bytes)
+	fmt.Printf("gateway relayed %d messages / %d packets / %d bytes of collective traffic\n", gs.Messages, gs.Packets, gs.Bytes)
 	fmt.Println("the allreduce code never mentions clusters, gateways or routes — that is the paper's point")
 }

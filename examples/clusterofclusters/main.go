@@ -64,8 +64,8 @@ func main() {
 	if err := sys.Run(); err != nil {
 		log.Fatal(err)
 	}
-	msgs, pkts, bytes := sys.GatewayStats("gw")
-	fmt.Printf("\ngateway relayed %d messages, %d packets, %d bytes\n", msgs, pkts, bytes)
+	gs, _ := sys.GatewayStats("gw")
+	fmt.Printf("\ngateway relayed %d messages, %d packets, %d bytes\n", gs.Messages, gs.Packets, gs.Bytes)
 	copies, copied := sys.Copies()
 	fmt.Printf("CPU copies across all nodes: %d (%d bytes) — headers only, payloads were zero-copy\n", copies, copied)
 }

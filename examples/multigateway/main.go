@@ -61,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, g := range []string{"g1", "g2"} {
-		msgs, pkts, bytes := sys.GatewayStats(g)
-		fmt.Printf("gateway %s: %d messages, %d packets, %d bytes relayed\n", g, msgs, pkts, bytes)
+		gs, _ := sys.GatewayStats(g)
+		fmt.Printf("gateway %s: %d messages, %d packets, %d bytes relayed\n", g, gs.Messages, gs.Packets, gs.Bytes)
 	}
 }

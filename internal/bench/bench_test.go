@@ -11,7 +11,7 @@ import (
 var quick = Options{Quick: true}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5"}
+	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "r1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry = %v", ids)
@@ -326,4 +326,27 @@ func mustRun(t *testing.T, id string, o Options) *Result {
 		t.Fatalf("no experiment %s", id)
 	}
 	return e.Run(o)
+}
+
+// TestReliableBenchFaultFree pins the satellite guarantee: a fault-free
+// reliable run of the paper transfer performs zero recovery work, so the
+// r1 zero-loss row doubles as a regression check on the protocol overhead.
+func TestReliableBenchFaultFree(t *testing.T) {
+	_, ds := reliableStream("a1", "b1", 256*kb, nil)
+	if ds != (fwd.DeliveryStats{}) {
+		t.Errorf("fault-free reliable stream recovered: %+v", ds)
+	}
+	e, ok := Lookup("r1")
+	if !ok {
+		t.Fatal("r1 not registered")
+	}
+	r := e.Run(quick)
+	if len(r.Table) == 0 || r.Table[0][2] != "0" {
+		t.Errorf("r1 zero-loss row shows retransmits: %v", r.Table)
+	}
+	for _, note := range r.Notes {
+		if strings.HasPrefix(note, "WARNING") {
+			t.Errorf("r1 flagged recovery on a fault-free run: %s", note)
+		}
+	}
 }

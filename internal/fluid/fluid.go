@@ -112,6 +112,7 @@ type Flow struct {
 	started   vtime.Time
 	waker     *vtime.Waker
 	onDone    func()
+	canceled  bool
 }
 
 // Name returns the flow's diagnostic name.
@@ -125,6 +126,10 @@ func (f *Flow) Rate() float64 { return f.rate }
 
 // Remaining returns the bytes not yet transferred.
 func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Canceled reports whether the flow was torn down by CancelOn before its
+// last byte moved (a link-down or node-crash window cut it).
+func (f *Flow) Canceled() bool { return f.canceled }
 
 // Engine owns a set of resources and the flows over them.
 type Engine struct {
@@ -173,13 +178,21 @@ func Path(c Class, rs ...*Resource) []Hop {
 //
 // Zero-byte transfers complete immediately without touching the allocator.
 func (e *Engine) Transfer(p *vtime.Proc, spec Spec) vtime.Duration {
+	d, _ := e.TransferOK(p, spec)
+	return d
+}
+
+// TransferOK is Transfer but additionally reports whether the flow ran to
+// completion: ok is false when a fault window cancelled it mid-transfer (see
+// CancelOn), in which case the bytes must be considered lost.
+func (e *Engine) TransferOK(p *vtime.Proc, spec Spec) (vtime.Duration, bool) {
 	if spec.Bytes == 0 {
-		return 0
+		return 0, true
 	}
 	f := e.start(spec)
 	f.waker = p.Blocker("flow " + spec.Name)
 	f.waker.Wait()
-	return vtime.Since(e.sim.Now(), f.started)
+	return vtime.Since(e.sim.Now(), f.started), !f.canceled
 }
 
 // Start begins a transfer without blocking; onDone (may be nil) runs in
@@ -417,3 +430,57 @@ func (e *Engine) scheduleNextCompletion() {
 
 // ActiveFlows returns the number of in-progress flows (diagnostics).
 func (e *Engine) ActiveFlows() int { return len(e.flows) }
+
+// CancelOn tears down every active flow routed through r — the fluid-level
+// consequence of a link going down or a host crashing: in-flight transfers
+// stop instantly, their waiters wake with the flow marked Canceled, and the
+// remaining flows are re-allocated over the freed capacity. It returns the
+// number of flows cancelled. Must run in scheduler context (a callback or a
+// process), like every engine entry point.
+func (e *Engine) CancelOn(r *Resource) int {
+	var doomed []*Flow
+	for _, f := range e.flows {
+		for _, h := range f.route {
+			if h.R == r {
+				doomed = append(doomed, f)
+				break
+			}
+		}
+	}
+	if len(doomed) == 0 {
+		return 0
+	}
+	e.integrate()
+	dead := make(map[*Flow]bool, len(doomed))
+	for _, f := range doomed {
+		dead[f] = true
+	}
+	live := e.flows[:0]
+	for _, f := range e.flows {
+		if !dead[f] {
+			live = append(live, f)
+		}
+	}
+	e.flows = live
+	for _, f := range doomed {
+		for _, h := range f.route {
+			h.R.flows = removeFlow(h.R.flows, f)
+		}
+		f.canceled = true
+		f.rate = 0
+	}
+	e.computeRates()
+	e.scheduleNextCompletion()
+	for _, f := range doomed {
+		if f.waker != nil {
+			f.waker.Wake()
+			f.waker = nil
+		}
+		if f.onDone != nil {
+			fn := f.onDone
+			f.onDone = nil
+			fn()
+		}
+	}
+	return len(doomed)
+}

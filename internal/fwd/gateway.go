@@ -20,6 +20,10 @@ type Gateway struct {
 	messages int64
 	packets  int64
 	bytes    int64
+
+	// eng is the node's reliability engine in reliable mode; the stat
+	// accessors read from it instead of the streaming counters.
+	eng *relEngine
 }
 
 func newGateway(vc *VirtualChannel, node *mad.Node) *Gateway {
@@ -52,13 +56,48 @@ func (g *Gateway) start() {
 }
 
 // Messages returns the number of messages this gateway relayed.
-func (g *Gateway) Messages() int64 { return g.messages }
+func (g *Gateway) Messages() int64 {
+	if g.eng != nil {
+		return g.eng.relayedMsgs
+	}
+	return g.messages
+}
 
 // Packets returns the number of packets this gateway relayed.
-func (g *Gateway) Packets() int64 { return g.packets }
+func (g *Gateway) Packets() int64 {
+	if g.eng != nil {
+		return g.eng.relayedPkts
+	}
+	return g.packets
+}
 
 // Bytes returns the payload bytes this gateway relayed.
-func (g *Gateway) Bytes() int64 { return g.bytes }
+func (g *Gateway) Bytes() int64 {
+	if g.eng != nil {
+		return g.eng.relayedBytes
+	}
+	return g.bytes
+}
+
+// Retransmits returns the number of per-hop packet retransmissions this
+// gateway's node performed. Always zero in streaming mode and on fault-free
+// reliable runs.
+func (g *Gateway) Retransmits() int64 {
+	if g.eng != nil {
+		return g.eng.retransmits
+	}
+	return 0
+}
+
+// Failovers returns how many times this gateway's node presumed a neighbour
+// dead and rerouted around it. Always zero in streaming mode and on
+// fault-free reliable runs.
+func (g *Gateway) Failovers() int64 {
+	if g.eng != nil {
+		return g.eng.failovers
+	}
+	return 0
+}
 
 // Gateway returns the engine running on the named node (tests and tools).
 func (vc *VirtualChannel) Gateway(name string) *Gateway {
@@ -67,6 +106,13 @@ func (vc *VirtualChannel) Gateway(name string) *Gateway {
 		panic("fwd: no gateway on " + name)
 	}
 	return gw
+}
+
+// GatewayOK returns the engine running on the named node, or ok=false when
+// the node runs none.
+func (vc *VirtualChannel) GatewayOK(name string) (*Gateway, bool) {
+	gw, ok := vc.gates[name]
+	return gw, ok
 }
 
 // forward relays one self-described message: read its header, choose the

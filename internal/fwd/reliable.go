@@ -1,0 +1,902 @@
+package fwd
+
+// Reliable delivery: the robustness mode of the forwarding layer.
+//
+// The paper's forwarding machinery assumes perfect hardware: every packet a
+// gateway relays arrives intact, so the GTM can stream packets with no
+// sequencing or acknowledgement. Under the fault injector (package fault)
+// that assumption breaks, and Config.Reliable replaces the streaming GTM
+// with a reliable datagram protocol:
+//
+//   - Every message is cut into self-contained, checksummed packets:
+//     fragment 0 carries the message descriptor (MTU and per-block layout),
+//     fragments 1..total-1 carry the payload. Each packet names the
+//     message's origin, final destination, message id and fragment index,
+//     so any node can route it and the final destination can reassemble
+//     and de-duplicate.
+//   - Packets travel hop by hop with stop-and-wait acknowledgements,
+//     exponential backoff, and a bounded retry budget per hop. A hop that
+//     exhausts its budget presumes the neighbour dead and recomputes a
+//     route around it (multi-gateway failover, or degradation to the slow
+//     control network when Config.FallbackTopo names one).
+//   - Hop acknowledgements only say a relay accepted the packet; a crash
+//     can still lose accepted packets. The final destination therefore
+//     returns an end-to-end acknowledgement (itself a reliably-delivered
+//     packet), and the origin re-sends the whole message when it times
+//     out; duplicates are suppressed at the final destination.
+//   - A sender whose retries and reroutes all fail surfaces a typed
+//     *DeliveryError through vtime.Abort, so the simulation ends with an
+//     error instead of deadlocking.
+//
+// Deadlock freedom: the per-network polling daemons always Recv (which
+// frees the link's eager flow-control credit) before doing anything else,
+// and never block on sends — acknowledgements go through a per-node control
+// daemon, relays through a per-node relay daemon, both fed by bounded
+// queues with non-blocking enqueue. A full queue just means no ack, which
+// the upstream retry converts into a retransmission later.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"strings"
+
+	"madgo/internal/mad"
+	"madgo/internal/route"
+	"madgo/internal/topo"
+	"madgo/internal/vtime"
+	"madgo/internal/vtime/vsync"
+)
+
+// RetryPolicy tunes the reliability protocol. Zero fields take the defaults
+// of DefaultRetryPolicy.
+type RetryPolicy struct {
+	// AckTimeout is the initial per-hop acknowledgement timeout; it
+	// doubles on every retransmission up to MaxTimeout.
+	AckTimeout vtime.Duration
+	// MaxTimeout caps the doubled per-hop timeout and the inter-attempt
+	// backoff of whole-message resends.
+	MaxTimeout vtime.Duration
+	// PacketRetries is how many times one packet is retransmitted on one
+	// hop before the neighbour is presumed dead.
+	PacketRetries int
+	// MessageRetries is how many times the whole message is re-sent after
+	// an end-to-end acknowledgement timeout before the sender gives up
+	// with a DeliveryError.
+	MessageRetries int
+	// E2EBase and E2EPerFrag size the end-to-end acknowledgement timeout:
+	// E2EBase + E2EPerFrag per fragment of the message.
+	E2EBase    vtime.Duration
+	E2EPerFrag vtime.Duration
+	// ReprobeAfter is how long a presumed-dead node stays excluded from
+	// routing before it is probed again (0 = forever).
+	ReprobeAfter vtime.Duration
+	// RouteAttempts bounds how many alternate next hops one packet tries
+	// before its forwarding fails.
+	RouteAttempts int
+}
+
+// DefaultRetryPolicy returns the timeouts and budgets the tests and tools
+// use. They are sized for the paper's testbed: the slowest hop (Fast
+// Ethernet) moves a 32 KB fragment in under 3 ms, safely inside the 5 ms
+// initial ack timeout. E2EBase exceeds a full dead-neighbour detection
+// cycle (PacketRetries doubling timeouts, ~155 ms) so that one message
+// attempt survives a downstream relay — or the returning end-to-end
+// acknowledgement — having to discover a crashed gateway itself.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		AckTimeout:     5 * vtime.Millisecond,
+		MaxTimeout:     80 * vtime.Millisecond,
+		PacketRetries:  5,
+		MessageRetries: 3,
+		E2EBase:        250 * vtime.Millisecond,
+		E2EPerFrag:     5 * vtime.Millisecond,
+		ReprobeAfter:   500 * vtime.Millisecond,
+		RouteAttempts:  3,
+	}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if rp.AckTimeout <= 0 {
+		rp.AckTimeout = def.AckTimeout
+	}
+	if rp.MaxTimeout <= 0 {
+		rp.MaxTimeout = def.MaxTimeout
+	}
+	if rp.PacketRetries <= 0 {
+		rp.PacketRetries = def.PacketRetries
+	}
+	if rp.MessageRetries <= 0 {
+		rp.MessageRetries = def.MessageRetries
+	}
+	if rp.E2EBase <= 0 {
+		rp.E2EBase = def.E2EBase
+	}
+	if rp.E2EPerFrag <= 0 {
+		rp.E2EPerFrag = def.E2EPerFrag
+	}
+	if rp.ReprobeAfter < 0 {
+		rp.ReprobeAfter = def.ReprobeAfter
+	}
+	if rp.RouteAttempts <= 0 {
+		rp.RouteAttempts = def.RouteAttempts
+	}
+	return rp
+}
+
+// DeliveryError reports that a message could not be delivered: every
+// retransmission, reroute and whole-message resend failed. It reaches the
+// caller of Sim.Run (and madeleine.System.Run) via vtime.Abort.
+type DeliveryError struct {
+	From     string
+	To       string
+	Reason   string // "timeout" (no end-to-end ack) or "unreachable" (no route left)
+	Attempts int
+}
+
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("fwd: delivery %s -> %s failed after %d attempt(s): %s",
+		e.From, e.To, e.Attempts, e.Reason)
+}
+
+// DeliveryStats aggregates the reliability protocol's counters over every
+// node of the virtual channel. All zero on a fault-free run.
+type DeliveryStats struct {
+	Retransmits    int64 // per-hop packet retransmissions
+	Failovers      int64 // neighbours presumed dead and routed around
+	MessageResends int64 // whole-message resends after e2e timeouts
+	Duplicates     int64 // duplicate packets suppressed at destinations
+	ChecksumDrops  int64 // packets discarded for a bad checksum
+	RelayDrops     int64 // packets a relay accepted but could not forward
+}
+
+// Wire format (all little-endian, CRC32-IEEE over everything before the
+// trailing checksum — acknowledgements included, so a corrupted ack is
+// dropped rather than misparsed):
+//
+//	data:  origin u32 | final u32 | msgID u64 | frag u32 | total u32 | payload | crc u32
+//	ack:   origin u32 | msgID u64 | frag u32 | crc u32
+//
+// An end-to-end acknowledgement is a data packet with frag == e2eFrag,
+// total == 0, an empty payload and final == origin — routed back to the
+// message origin through the same reliable relay machinery as data.
+const (
+	relDataHdrLen = 24
+	relTrailerLen = 4
+	relOverhead   = relDataHdrLen + relTrailerLen
+	relAckPktLen  = 20
+)
+
+// e2eFrag is the fragment-index sentinel marking an end-to-end ack packet.
+const e2eFrag = ^uint32(0)
+
+func sealCRC(pkt []byte) {
+	n := len(pkt) - relTrailerLen
+	binary.LittleEndian.PutUint32(pkt[n:], crc32.ChecksumIEEE(pkt[:n]))
+}
+
+func checkCRC(pkt []byte) bool {
+	if len(pkt) < relTrailerLen {
+		return false
+	}
+	n := len(pkt) - relTrailerLen
+	return binary.LittleEndian.Uint32(pkt[n:]) == crc32.ChecksumIEEE(pkt[:n])
+}
+
+// relData is a decoded data packet.
+type relData struct {
+	origin  mad.Rank
+	final   mad.Rank
+	id      uint64
+	frag    uint32
+	total   uint32
+	payload []byte
+}
+
+func encodeRelData(origin, final mad.Rank, id uint64, frag, total uint32, payload []byte) []byte {
+	pkt := make([]byte, relDataHdrLen+len(payload)+relTrailerLen)
+	binary.LittleEndian.PutUint32(pkt[0:], uint32(origin))
+	binary.LittleEndian.PutUint32(pkt[4:], uint32(final))
+	binary.LittleEndian.PutUint64(pkt[8:], id)
+	binary.LittleEndian.PutUint32(pkt[16:], frag)
+	binary.LittleEndian.PutUint32(pkt[20:], total)
+	copy(pkt[relDataHdrLen:], payload)
+	sealCRC(pkt)
+	return pkt
+}
+
+func decodeRelData(pkt []byte) (relData, bool) {
+	if len(pkt) < relOverhead || !checkCRC(pkt) {
+		return relData{}, false
+	}
+	return relData{
+		origin:  mad.Rank(binary.LittleEndian.Uint32(pkt[0:])),
+		final:   mad.Rank(binary.LittleEndian.Uint32(pkt[4:])),
+		id:      binary.LittleEndian.Uint64(pkt[8:]),
+		frag:    binary.LittleEndian.Uint32(pkt[16:]),
+		total:   binary.LittleEndian.Uint32(pkt[20:]),
+		payload: pkt[relDataHdrLen : len(pkt)-relTrailerLen],
+	}, true
+}
+
+func encodeRelAck(origin mad.Rank, id uint64, frag uint32) []byte {
+	pkt := make([]byte, relAckPktLen)
+	binary.LittleEndian.PutUint32(pkt[0:], uint32(origin))
+	binary.LittleEndian.PutUint64(pkt[4:], id)
+	binary.LittleEndian.PutUint32(pkt[12:], frag)
+	sealCRC(pkt)
+	return pkt
+}
+
+func decodeRelAck(pkt []byte) (relAckKey, bool) {
+	if len(pkt) != relAckPktLen || !checkCRC(pkt) {
+		return relAckKey{}, false
+	}
+	return relAckKey{
+		origin: mad.Rank(binary.LittleEndian.Uint32(pkt[0:])),
+		id:     binary.LittleEndian.Uint64(pkt[4:]),
+		frag:   binary.LittleEndian.Uint32(pkt[12:]),
+	}, true
+}
+
+// The fragment-0 descriptor payload mirrors what the GTM transmits
+// incrementally: the connection MTU and the per-block sizes and flag
+// constraints the receiver's unpack calls must match.
+//
+//	mtu u32 | nblocks u32 | nblocks × (size u32 | sendMode u8 | recvMode u8)
+func encodeRelDesc(mtu int, blocks []relBlock) []byte {
+	b := make([]byte, 8+6*len(blocks))
+	binary.LittleEndian.PutUint32(b[0:], uint32(mtu))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(blocks)))
+	off := 8
+	for _, bl := range blocks {
+		binary.LittleEndian.PutUint32(b[off:], uint32(len(bl.data)))
+		b[off+4] = byte(bl.s)
+		b[off+5] = byte(bl.r)
+		off += 6
+	}
+	return b
+}
+
+func decodeRelDesc(b []byte) (mtu int, desc []mad.BlockDesc, ok bool) {
+	if len(b) < 8 {
+		return 0, nil, false
+	}
+	mtu = int(binary.LittleEndian.Uint32(b[0:]))
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if len(b) != 8+6*n {
+		return 0, nil, false
+	}
+	desc = make([]mad.BlockDesc, n)
+	off := 8
+	for i := range desc {
+		desc[i] = mad.BlockDesc{
+			Size: int(binary.LittleEndian.Uint32(b[off:])),
+			S:    mad.SendMode(b[off+4]),
+			R:    mad.RecvMode(b[off+5]),
+		}
+		off += 6
+	}
+	return mtu, desc, true
+}
+
+// relMeta is the link-layer metadata of one reliable packet: a single-block,
+// single-transmission message flagged Reliable so it takes the plain eager
+// path and is subject to fault injection.
+func relMeta(kind mad.Kind, n int) mad.TxMeta {
+	return mad.TxMeta{
+		SOM:      true,
+		Reliable: true,
+		Kind:     kind,
+		Blocks:   []mad.BlockDesc{{Size: n, S: mad.SendCheaper, R: mad.ReceiveCheaper}},
+	}
+}
+
+// relAckKey identifies one packet for hop acknowledgement: who originated
+// the message, which message, which fragment.
+type relAckKey struct {
+	origin mad.Rank
+	id     uint64
+	frag   uint32
+}
+
+// relMsgKey identifies one message.
+type relMsgKey struct {
+	origin mad.Rank
+	id     uint64
+}
+
+// relAwait is a one-shot completion slot shared between a waiting sender and
+// the acknowledgement handler (or the timeout callback, whichever fires
+// first).
+type relAwait struct {
+	w    *vtime.Waker
+	done bool
+	ok   bool
+}
+
+// relMsg is a message being reassembled at its final destination. It is
+// handed to the unpacking side through the node's merged arrival queue once
+// every fragment arrived.
+type relMsg struct {
+	origin mad.Rank
+	id     uint64
+	total  uint32
+	frags  map[uint32][]byte
+}
+
+// relayItem is one packet queued for forwarding by a node's relay daemon.
+type relayItem struct {
+	d   relData
+	pkt []byte
+}
+
+// ctlItem is one acknowledgement queued for emission by a node's control
+// daemon.
+type ctlItem struct {
+	link *mad.Link
+	pkt  []byte
+}
+
+// relEngine is the per-node reliability engine: sequence numbers, awaited
+// acknowledgements, reassembly state, liveness guesses and counters. All of
+// it runs under the single-threaded simulation scheduler, so no locking.
+type relEngine struct {
+	vc   *VirtualChannel
+	node *mad.Node
+	pol  RetryPolicy
+
+	nextMsg uint64
+	dead    map[string]vtime.Time   // presumed-dead node -> reprobe time
+	tables  map[string]*route.Table // cached per (topology, dead-set) tables
+
+	acks map[relAckKey]*relAwait
+	e2e  map[relMsgKey]*relAwait
+	rx   map[relMsgKey]*relMsg
+	done map[relMsgKey]bool
+
+	relayQ *vsync.Chan[relayItem]
+	ctlQ   *vsync.Chan[ctlItem]
+
+	retransmits   int64
+	failovers     int64
+	msgResends    int64
+	relayedMsgs   int64
+	relayedPkts   int64
+	relayedBytes  int64
+	dups          int64
+	checksumDrops int64
+	relayDrops    int64
+}
+
+func (e *relEngine) sim() *vtime.Sim { return e.vc.sess.Platform.Sim }
+
+func (e *relEngine) trace(op string, bytes int, at vtime.Time) {
+	e.vc.cfg.Tracer.Record("rel:"+e.node.Name, op, bytes, at, at)
+}
+
+// buildReliable wires the reliable delivery machinery: one engine per node,
+// one polling daemon per (node, network), and per-node relay and control
+// daemons. Gateway stat objects are created for the primary topology's
+// gateways so tools keep working, but no streaming pipelines start.
+func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
+	sim := vc.sess.Platform.Sim
+	pol := vc.cfg.Retry.withDefaults()
+	vc.rel = make(map[string]*relEngine)
+	for _, n := range buildTopo.Nodes() {
+		node := vc.nodes[n.Name]
+		e := &relEngine{
+			vc:     vc,
+			node:   node,
+			pol:    pol,
+			dead:   make(map[string]vtime.Time),
+			tables: make(map[string]*route.Table),
+			acks:   make(map[relAckKey]*relAwait),
+			e2e:    make(map[relMsgKey]*relAwait),
+			rx:     make(map[relMsgKey]*relMsg),
+			done:   make(map[relMsgKey]bool),
+			relayQ: vsync.NewChan[relayItem]("relq:"+n.Name, 1024),
+			ctlQ:   vsync.NewChan[ctlItem]("ctlq:"+n.Name, 4096),
+		}
+		vc.rel[n.Name] = e
+		for _, nwName := range n.Networks {
+			ep := vc.regular[nwName].At(node)
+			sim.SpawnDaemon(fmt.Sprintf("relpoll:%s:%s", n.Name, nwName), func(p *vtime.Proc) {
+				for {
+					a := ep.WaitArrival(p)
+					e.handle(p, a)
+				}
+			})
+		}
+		sim.SpawnDaemon("relfwd:"+n.Name, func(p *vtime.Proc) { e.relayLoop(p) })
+		sim.SpawnDaemon("relctl:"+n.Name, func(p *vtime.Proc) { e.ctlLoop(p) })
+	}
+	for _, name := range vc.tp.Gateways() {
+		g := newGateway(vc, vc.nodes[name])
+		g.eng = vc.rel[name]
+		vc.gates[name] = g
+	}
+}
+
+// sendMessage fragments, encodes and reliably delivers one message, blocking
+// until the final destination's end-to-end acknowledgement arrives. It runs
+// in the application's process (called from EndPacking).
+func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock) {
+	pol := e.pol
+	mtu := e.vc.cfg.MTU
+	id := e.nextMsg
+	e.nextMsg++
+
+	payloads := [][]byte{encodeRelDesc(mtu, blocks)}
+	for _, b := range blocks {
+		data := b.data
+		mad.ForEachFragment(len(data), mtu, func(off, n int) {
+			payloads = append(payloads, data[off:off+n])
+		})
+	}
+	total := uint32(len(payloads))
+	final := e.vc.NodeRank(dst)
+	packets := make([][]byte, total)
+	for i, pl := range payloads {
+		packets[i] = encodeRelData(e.node.Rank, final, id, uint32(i), total, pl)
+	}
+
+	mkey := relMsgKey{origin: e.node.Rank, id: id}
+	reason := "timeout"
+	for attempt := 0; attempt <= pol.MessageRetries; attempt++ {
+		if attempt > 0 {
+			e.msgResends++
+			e.trace("resend", 0, p.Now())
+		}
+		aw := &relAwait{}
+		e.e2e[mkey] = aw
+		routed := true
+		for i, pkt := range packets {
+			if aw.done {
+				break // the e2e ack of a previous attempt arrived
+			}
+			key := relAckKey{origin: e.node.Rank, id: id, frag: uint32(i)}
+			if !e.forwardPacket(p, dst, pkt, key) {
+				routed = false
+				break
+			}
+		}
+		if !routed {
+			if e.e2e[mkey] == aw {
+				delete(e.e2e, mkey)
+			}
+			reason = "unreachable"
+			if attempt < pol.MessageRetries {
+				p.Sleep(e.backoff(attempt))
+			}
+			continue
+		}
+		to := pol.E2EBase + vtime.Duration(total)*pol.E2EPerFrag
+		ok := e.await(p, aw, to, "rel e2e "+dst)
+		if e.e2e[mkey] == aw {
+			delete(e.e2e, mkey)
+		}
+		if ok {
+			return
+		}
+		reason = "timeout"
+	}
+	panic(vtime.Abort{Err: &DeliveryError{
+		From:     e.node.Name,
+		To:       dst,
+		Reason:   reason,
+		Attempts: pol.MessageRetries + 1,
+	}})
+}
+
+// backoff is the inter-attempt sleep after a routing failure: exponential
+// from AckTimeout, capped at MaxTimeout.
+func (e *relEngine) backoff(attempt int) vtime.Duration {
+	d := e.pol.AckTimeout << uint(attempt)
+	if d > e.pol.MaxTimeout {
+		d = e.pol.MaxTimeout
+	}
+	return d
+}
+
+// forwardPacket moves one packet one step toward finalDst, trying alternate
+// next hops (failover) when the preferred neighbour stops acknowledging. It
+// reports false when no route is left or every alternate hop failed.
+func (e *relEngine) forwardPacket(p *vtime.Proc, finalDst string, pkt []byte, key relAckKey) bool {
+	for try := 0; try < e.pol.RouteAttempts; try++ {
+		hop, ok := e.nextHop(finalDst, p.Now())
+		if !ok {
+			return false
+		}
+		if e.deliverHop(p, hop, pkt, key) {
+			return true
+		}
+		e.markDead(hop.To, p.Now())
+	}
+	return false
+}
+
+// deliverHop transmits one packet to one neighbour with stop-and-wait
+// retransmission and doubling timeouts. It reports false when the retry
+// budget ran out without an acknowledgement.
+func (e *relEngine) deliverHop(p *vtime.Proc, hop route.Hop, pkt []byte, key relAckKey) bool {
+	link := e.vc.regular[hop.Network].Link(e.node.Rank, e.vc.NodeRank(hop.To))
+	kind := mad.KindRel
+	if key.frag == e2eFrag {
+		kind = mad.KindRelE2E
+	}
+	to := e.pol.AckTimeout
+	for try := 0; try <= e.pol.PacketRetries; try++ {
+		if try > 0 {
+			e.retransmits++
+			e.trace("rexmit", len(pkt), p.Now())
+		}
+		aw := &relAwait{}
+		e.acks[key] = aw
+		link.Acquire(p)
+		link.Send(p, relMeta(kind, len(pkt)), pkt)
+		link.Release(p)
+		ok := e.await(p, aw, to, "rel ack "+hop.To)
+		if e.acks[key] == aw {
+			delete(e.acks, key)
+		}
+		if ok {
+			return true
+		}
+		to *= 2
+		if to > e.pol.MaxTimeout {
+			to = e.pol.MaxTimeout
+		}
+	}
+	return false
+}
+
+// await blocks until the slot completes or the timeout fires, whichever
+// comes first, and reports success. The slot may already be complete (an
+// acknowledgement that raced the sender), in which case it returns without
+// parking.
+func (e *relEngine) await(p *vtime.Proc, aw *relAwait, to vtime.Duration, what string) bool {
+	if !aw.done {
+		aw.w = p.Blocker(what)
+		e.sim().After(to, func() {
+			if aw.done {
+				return
+			}
+			aw.done = true
+			aw.ok = false
+			aw.w.Wake()
+		})
+		aw.w.Wait()
+	}
+	return aw.ok
+}
+
+// complete fulfils an awaited slot from handler context (never parks).
+func complete(aw *relAwait) {
+	if aw != nil && !aw.done {
+		aw.done = true
+		aw.ok = true
+		if aw.w != nil {
+			aw.w.Wake()
+		}
+	}
+}
+
+// nextHop picks the first leg toward dst, preferring the primary topology
+// (the high-speed networks) and falling back to Config.FallbackTopo (the
+// full configuration including the control network) when the primary has no
+// live path. Presumed-dead nodes are routed around; tables are cached per
+// (topology, dead-set) pair.
+func (e *relEngine) nextHop(dst string, now vtime.Time) (route.Hop, bool) {
+	avoid, tag := e.currentDead(now)
+	me := e.node.Name
+	for i, t := range [...]*topo.Topology{e.vc.tp, e.vc.cfg.FallbackTopo} {
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Node(me); !ok {
+			continue
+		}
+		if _, ok := t.Node(dst); !ok {
+			continue
+		}
+		key := fmt.Sprintf("%d|%s", i, tag)
+		tbl := e.tables[key]
+		if tbl == nil {
+			tbl = route.ComputeAvoiding(t, avoid)
+			e.tables[key] = tbl
+		}
+		if r, ok := tbl.Lookup(me, dst); ok && len(r) > 0 {
+			return r[0], true
+		}
+	}
+	return route.Hop{}, false
+}
+
+// currentDead prunes expired liveness guesses and returns the live dead-set
+// plus a canonical cache tag for it.
+func (e *relEngine) currentDead(now vtime.Time) (map[string]bool, string) {
+	var names []string
+	for n, exp := range e.dead {
+		if exp <= now {
+			delete(e.dead, n)
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, ""
+	}
+	sort.Strings(names)
+	avoid := make(map[string]bool, len(names))
+	for _, n := range names {
+		avoid[n] = true
+	}
+	return avoid, strings.Join(names, ",")
+}
+
+// markDead records a failover: the neighbour stopped acknowledging and is
+// excluded from routing until ReprobeAfter passes.
+func (e *relEngine) markDead(name string, now vtime.Time) {
+	e.failovers++
+	e.trace("failover", 0, now)
+	exp := vtime.Time(math.MaxInt64)
+	if e.pol.ReprobeAfter > 0 {
+		exp = now.Add(e.pol.ReprobeAfter)
+	}
+	e.dead[name] = exp
+}
+
+// handle dispatches one arrival in the polling daemon. The Recv comes
+// first, unconditionally: it frees the link's flow-control credit before
+// any further work, which is what keeps the ack/credit graph acyclic.
+func (e *relEngine) handle(p *vtime.Proc, a *mad.Arrival) {
+	meta, slot := a.Link.Recv(p)
+	switch meta.Kind {
+	case mad.KindRel, mad.KindRelE2E:
+		e.handleData(p, a.Link, slot)
+	case mad.KindRelAck:
+		e.handleAck(slot)
+	default:
+		panic("fwd: unexpected " + meta.Kind.String() + " message in reliable mode on " + e.node.Name)
+	}
+}
+
+// handleData verifies, acknowledges and routes one data or end-to-end-ack
+// packet. It never parks: relays and acknowledgements are enqueued to the
+// node's daemons with non-blocking sends.
+func (e *relEngine) handleData(p *vtime.Proc, in *mad.Link, pkt []byte) {
+	d, ok := decodeRelData(pkt)
+	if !ok {
+		e.checksumDrops++
+		e.trace("corrupt-drop", len(pkt), p.Now())
+		return // no ack: the sender retransmits
+	}
+	if d.final != e.node.Rank {
+		if !e.relayQ.TrySend(relayItem{d: d, pkt: pkt}) {
+			e.relayDrops++
+			return // backpressure: no ack until the queue drains
+		}
+		e.hopAck(in, d)
+		return
+	}
+	if d.frag == e2eFrag {
+		e.hopAck(in, d)
+		if aw := e.e2e[relMsgKey{origin: d.origin, id: d.id}]; aw != nil {
+			e.trace("e2e", 0, p.Now())
+			complete(aw)
+		}
+		return
+	}
+	e.acceptLocal(p, in, d)
+}
+
+// acceptLocal stores one fragment at its final destination, suppressing
+// duplicates, and completes the message when the last fragment lands.
+func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
+	e.hopAck(in, d)
+	mkey := relMsgKey{origin: d.origin, id: d.id}
+	if e.done[mkey] {
+		// The whole message already arrived; the origin is resending
+		// because our end-to-end ack got lost. Re-ack.
+		e.dups++
+		e.trace("dup", len(d.payload), p.Now())
+		e.sendE2E(d.origin, d.id)
+		return
+	}
+	m := e.rx[mkey]
+	if m == nil {
+		m = &relMsg{origin: d.origin, id: d.id, total: d.total, frags: make(map[uint32][]byte)}
+		e.rx[mkey] = m
+	}
+	if _, have := m.frags[d.frag]; have {
+		e.dups++
+		e.trace("dup", len(d.payload), p.Now())
+		return
+	}
+	m.frags[d.frag] = d.payload
+	if uint32(len(m.frags)) == m.total {
+		e.done[mkey] = true
+		if !e.vc.merged[e.node.Rank].TrySend(incoming{rel: m}) {
+			panic("fwd: merged arrival queue overflow on " + e.node.Name)
+		}
+		e.sendE2E(d.origin, d.id)
+	}
+}
+
+// hopAck queues the hop acknowledgement of one packet on the reverse link.
+// A full control queue silently drops the ack — the sender's retransmission
+// absorbs it.
+func (e *relEngine) hopAck(in *mad.Link, d relData) {
+	back := in.Channel.Link(e.node.Rank, in.Src.Rank)
+	e.ctlQ.TrySend(ctlItem{link: back, pkt: encodeRelAck(d.origin, d.id, d.frag)})
+}
+
+// sendE2E queues the end-to-end acknowledgement of a fully-received message
+// for reliable delivery back to its origin.
+func (e *relEngine) sendE2E(origin mad.Rank, id uint64) {
+	it := relayItem{
+		d:   relData{origin: origin, final: origin, id: id, frag: e2eFrag},
+		pkt: encodeRelData(origin, origin, id, e2eFrag, 0, nil),
+	}
+	if !e.relayQ.TrySend(it) {
+		e.relayDrops++
+	}
+}
+
+// handleAck completes the awaited slot of one hop acknowledgement.
+func (e *relEngine) handleAck(pkt []byte) {
+	key, ok := decodeRelAck(pkt)
+	if !ok {
+		e.checksumDrops++
+		return
+	}
+	complete(e.acks[key])
+}
+
+// relayLoop is the per-node relay daemon: it reliably forwards queued
+// packets (data passing through this node, and end-to-end acks this node
+// originates or relays), one at a time.
+func (e *relEngine) relayLoop(p *vtime.Proc) {
+	for {
+		it, ok := e.relayQ.Recv(p)
+		if !ok {
+			return
+		}
+		finalName := e.vc.sess.Node(it.d.final).Name
+		key := relAckKey{origin: it.d.origin, id: it.d.id, frag: it.d.frag}
+		if e.forwardPacket(p, finalName, it.pkt, key) {
+			if it.d.frag != e2eFrag {
+				e.relayedPkts++
+				e.relayedBytes += int64(len(it.pkt) - relOverhead)
+				if it.d.frag == 0 {
+					e.relayedMsgs++
+				}
+			}
+		} else {
+			e.relayDrops++
+		}
+	}
+}
+
+// ctlLoop is the per-node control daemon: it emits queued acknowledgements.
+// Its sends may block on link credits, but never on another daemon, so the
+// polling daemons stay free to drain mailboxes.
+func (e *relEngine) ctlLoop(p *vtime.Proc) {
+	for {
+		it, ok := e.ctlQ.Recv(p)
+		if !ok {
+			return
+		}
+		it.link.Acquire(p)
+		it.link.Send(p, relMeta(mad.KindRelAck, len(it.pkt)), it.pkt)
+		it.link.Release(p)
+	}
+}
+
+// DeliveryStats sums the reliability counters over every node, in node
+// declaration order. Zero-valued in streaming (non-reliable) mode.
+func (vc *VirtualChannel) DeliveryStats() DeliveryStats {
+	var s DeliveryStats
+	for _, name := range vc.relOrder {
+		e := vc.rel[name]
+		s.Retransmits += e.retransmits
+		s.Failovers += e.failovers
+		s.MessageResends += e.msgResends
+		s.Duplicates += e.dups
+		s.ChecksumDrops += e.checksumDrops
+		s.RelayDrops += e.relayDrops
+	}
+	return s
+}
+
+// relBlock is one packed block buffered until EndPacking.
+type relBlock struct {
+	data []byte
+	s    mad.SendMode
+	r    mad.RecvMode
+}
+
+// relPacking is the sender side of a reliable message: blocks are buffered
+// (SendSafer pays its snapshot copy immediately, the others are referenced —
+// safe because EndPacking blocks until the message is end-to-end
+// acknowledged) and the whole message is fragmented and sent at EndPacking.
+type relPacking struct {
+	eng    *relEngine
+	dst    string
+	blocks []relBlock
+}
+
+func newRelPacking(eng *relEngine, dst string) *relPacking {
+	return &relPacking{eng: eng, dst: dst}
+}
+
+func (rp *relPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMode) {
+	host := rp.eng.node.Host
+	p.Sleep(host.CPU.PackCost)
+	if s == mad.SendSafer {
+		host.Memcpy(p, len(data))
+		data = append([]byte(nil), data...)
+	}
+	rp.blocks = append(rp.blocks, relBlock{data: data, s: s, r: r})
+}
+
+func (rp *relPacking) end(p *vtime.Proc) {
+	rp.eng.sendMessage(p, rp.dst, rp.blocks)
+}
+
+// relUnpacking is the receiver side: the message is already fully
+// reassembled (that is what the arrival means), so unpack calls verify the
+// mirrored flags against the descriptor and copy fragments out.
+type relUnpacking struct {
+	eng      *relEngine
+	m        *relMsg
+	mtu      int
+	desc     []mad.BlockDesc
+	nextBlk  int
+	nextFrag uint32
+}
+
+func newRelUnpacking(eng *relEngine, m *relMsg) *relUnpacking {
+	mtu, desc, ok := decodeRelDesc(m.frags[0])
+	if !ok {
+		panic("fwd: reliable message with malformed descriptor on " + eng.node.Name)
+	}
+	return &relUnpacking{eng: eng, m: m, mtu: mtu, desc: desc, nextFrag: 1}
+}
+
+func (ru *relUnpacking) unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.RecvMode) {
+	if ru.nextBlk >= len(ru.desc) {
+		panic("fwd: unpack past the end of a reliable message")
+	}
+	d := ru.desc[ru.nextBlk]
+	ru.nextBlk++
+	if d.S != s || d.R != r || d.Size != len(dst) {
+		panic(fmt.Sprintf("fwd: protocol error: packed %v, unpacked {%dB %v %v}", d, len(dst), s, r))
+	}
+	host := ru.eng.node.Host
+	p.Sleep(host.CPU.PackCost)
+	mad.ForEachFragment(len(dst), ru.mtu, func(off, n int) {
+		frag, ok := ru.m.frags[ru.nextFrag]
+		ru.nextFrag++
+		if !ok || len(frag) != n {
+			panic("fwd: reliable message fragment size mismatch")
+		}
+		if n > 0 {
+			host.Memcpy(p, n)
+			copy(dst[off:off+n], frag)
+		}
+	})
+}
+
+func (ru *relUnpacking) end(p *vtime.Proc) {
+	if ru.nextBlk != len(ru.desc) || ru.nextFrag != ru.m.total {
+		panic(fmt.Sprintf("fwd: reliable message not fully unpacked (%d/%d blocks, %d/%d fragments)",
+			ru.nextBlk, len(ru.desc), ru.nextFrag, ru.m.total))
+	}
+	delete(ru.eng.rx, relMsgKey{origin: ru.m.origin, id: ru.m.id})
+}

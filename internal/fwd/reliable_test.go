@@ -1,0 +1,249 @@
+package fwd_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"madgo/internal/drivers/bip"
+	"madgo/internal/drivers/sisci"
+	"madgo/internal/drivers/tcpnet"
+	"madgo/internal/fault"
+	"madgo/internal/fwd"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/vtime"
+)
+
+// buildFaulty assembles a reliable virtual channel over a topology with an
+// optional fault plan armed on the platform. When fallback is non-nil it is
+// used as the superset build topology.
+func buildFaulty(t *testing.T, tp, fallback *topo.Topology, plan *fault.Plan, cfg fwd.Config) *world {
+	t.Helper()
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		pl.ArmFaults(fault.NewInjector(plan, cfg.Tracer))
+	}
+	sess := mad.NewSession(pl)
+	cfg.Reliable = true
+	cfg.FallbackTopo = fallback
+	netTopo := tp
+	if fallback != nil {
+		netTopo = fallback
+	}
+	bindings := make(map[string]fwd.Binding)
+	for _, nw := range netTopo.Networks() {
+		var drv netDriver
+		switch nw.Protocol {
+		case "sci":
+			drv = sisci.New()
+		case "myrinet":
+			drv = bip.New()
+		case "ethernet":
+			drv = tcpnet.New()
+		default:
+			t.Fatalf("no driver for %s", nw.Protocol)
+		}
+		bindings[nw.Name] = fwd.Binding{Net: drv.NewNetwork(pl, nw.Name), Drv: drv}
+	}
+	vc, err := fwd.Build(sess, tp, bindings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{sim: sim, sess: sess, vc: vc}
+}
+
+func TestReliableFaultFree(t *testing.T) {
+	w := buildFaulty(t, paperHS(t), nil, nil, fwd.DefaultConfig())
+	blocks := []block{
+		{pattern(4, 1), mad.SendCheaper, mad.ReceiveExpress},
+		{pattern(90_000, 2), mad.SendCheaper, mad.ReceiveCheaper},
+		{pattern(100, 3), mad.SendSafer, mad.ReceiveExpress},
+		{pattern(0, 4), mad.SendCheaper, mad.ReceiveCheaper},
+		{pattern(40_000, 5), mad.SendLater, mad.ReceiveCheaper},
+	}
+	got, fwded, from := sendRecv(t, w, "a0", "b1", blocks)
+	for i := range blocks {
+		if !bytes.Equal(got[i], blocks[i].data) {
+			t.Errorf("block %d corrupted", i)
+		}
+	}
+	if !fwded {
+		t.Error("cross-cluster message not marked forwarded")
+	}
+	if from != w.vc.NodeRank("a0") {
+		t.Errorf("From() = %d, want rank of a0", from)
+	}
+	gw := w.vc.Gateway("gw")
+	if gw.Messages() != 1 {
+		t.Errorf("gateway relayed %d messages, want 1", gw.Messages())
+	}
+	// A fault-free run must need no recovery at all.
+	ds := w.vc.DeliveryStats()
+	if ds != (fwd.DeliveryStats{}) {
+		t.Errorf("fault-free delivery stats not all zero: %+v", ds)
+	}
+	if gw.Retransmits() != 0 || gw.Failovers() != 0 {
+		t.Errorf("fault-free gateway recovered: %d retransmits, %d failovers",
+			gw.Retransmits(), gw.Failovers())
+	}
+}
+
+func TestReliableDirect(t *testing.T) {
+	w := buildFaulty(t, paperHS(t), nil, nil, fwd.DefaultConfig())
+	blocks := []block{{pattern(5000, 2), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, fwded, _ := sendRecv(t, w, "a0", "a1", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("direct payload corrupted")
+	}
+	if fwded {
+		t.Error("intra-cluster message marked forwarded")
+	}
+}
+
+func TestReliableUnderLoss(t *testing.T) {
+	plan := fault.NewPlan(42).Drop("*", 0.05)
+	w := buildFaulty(t, paperHS(t), nil, plan, fwd.DefaultConfig())
+	blocks := []block{{pattern(300_000, 7), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, _, _ := sendRecv(t, w, "a0", "b1", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("payload corrupted under loss")
+	}
+	ds := w.vc.DeliveryStats()
+	if ds.Retransmits == 0 {
+		t.Error("5% loss run saw zero retransmissions")
+	}
+}
+
+func TestReliableUnderCorruption(t *testing.T) {
+	plan := fault.NewPlan(7).Corrupt("*", 0.05)
+	w := buildFaulty(t, paperHS(t), nil, plan, fwd.DefaultConfig())
+	blocks := []block{{pattern(300_000, 9), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, _, _ := sendRecv(t, w, "a0", "b1", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("payload corrupted despite checksums")
+	}
+	ds := w.vc.DeliveryStats()
+	if ds.ChecksumDrops == 0 {
+		t.Error("5% corruption run saw zero checksum drops")
+	}
+}
+
+// twoGateways is a topology with redundant gateways between the clusters.
+func twoGateways(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewBuilder().
+		Network("sciA", "sci").
+		Network("myriB", "myrinet").
+		Node("a0", "sciA").Node("a1", "sciA").
+		Node("gw1", "sciA", "myriB").
+		Node("gw2", "sciA", "myriB").
+		Node("b0", "myriB").Node("b1", "myriB").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestReliableGatewayFailover(t *testing.T) {
+	// gw1 (the BFS-preferred gateway) dies before traffic starts; every
+	// message must fail over to gw2 and still arrive byte-exact.
+	plan := fault.NewPlan(1).Crash("gw1", 0, 0)
+	w := buildFaulty(t, twoGateways(t), nil, plan, fwd.DefaultConfig())
+	blocks := []block{{pattern(100_000, 3), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, _, _ := sendRecv(t, w, "a0", "b1", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("payload corrupted across failover")
+	}
+	ds := w.vc.DeliveryStats()
+	if ds.Failovers == 0 {
+		t.Error("dead preferred gateway caused no failover")
+	}
+	if n := w.vc.Gateway("gw2").Messages(); n == 0 {
+		t.Error("secondary gateway relayed nothing")
+	}
+}
+
+func TestReliableFallbackToControlNetwork(t *testing.T) {
+	// The only high-speed gateway dies permanently; traffic must degrade
+	// to the Ethernet control network of the fallback topology.
+	full := topo.PaperTestbed()
+	hs, err := full.Restrict("sci0", "myri0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(3).Crash("gw", 0, 0)
+	w := buildFaulty(t, hs, full, plan, fwd.DefaultConfig())
+	blocks := []block{{pattern(80_000, 5), mad.SendCheaper, mad.ReceiveCheaper}}
+	got, fwded, _ := sendRecv(t, w, "a1", "b1", blocks)
+	if !bytes.Equal(got[0], blocks[0].data) {
+		t.Error("payload corrupted on the fallback network")
+	}
+	if !fwded {
+		t.Error("cross-cluster message not marked forwarded")
+	}
+	if ds := w.vc.DeliveryStats(); ds.Failovers == 0 {
+		t.Error("dead gateway caused no failover")
+	}
+}
+
+func TestReliableUnreachableAbortsTyped(t *testing.T) {
+	// Killing the single gateway of a two-network topology with no
+	// fallback partitions it: the sender must surface a DeliveryError,
+	// never a deadlock.
+	plan := fault.NewPlan(5).Crash("gw", 0, 0)
+	w := buildFaulty(t, paperHS(t), nil, plan, fwd.DefaultConfig())
+	w.sim.Spawn("app-send:a0", func(p *vtime.Proc) {
+		px := w.vc.At("a0").BeginPacking(p, "b1")
+		px.Pack(p, pattern(10_000, 1), mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	err := w.sim.Run()
+	var de *fwd.DeliveryError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run() = %v, want a *DeliveryError", err)
+	}
+	if de.From != "a0" || de.To != "b1" {
+		t.Errorf("DeliveryError names %s -> %s, want a0 -> b1", de.From, de.To)
+	}
+}
+
+func TestReliableManyPairsUnderLoss(t *testing.T) {
+	plan := fault.NewPlan(11).Drop("*", 0.02)
+	w := buildFaulty(t, paperHS(t), nil, plan, fwd.DefaultConfig())
+	// One message per destination so each receiver unpacks the message
+	// meant for it.
+	pairs := [][2]string{{"a0", "b0"}, {"a1", "b1"}, {"b0", "a1"}, {"gw", "a0"}, {"b1", "gw"}}
+	payloads := make([][]byte, len(pairs))
+	got := make([][]byte, len(pairs))
+	for i, pr := range pairs {
+		i, pr := i, pr
+		payloads[i] = pattern(50_000+i*1000, byte(i))
+		w.sim.Spawn(fmt.Sprintf("send:%s", pr[0]), func(p *vtime.Proc) {
+			px := w.vc.At(pr[0]).BeginPacking(p, pr[1])
+			px.Pack(p, payloads[i], mad.SendCheaper, mad.ReceiveCheaper)
+			px.EndPacking(p)
+		})
+		w.sim.Spawn(fmt.Sprintf("recv:%s", pr[1]), func(p *vtime.Proc) {
+			u := w.vc.At(pr[1]).BeginUnpacking(p)
+			got[i] = make([]byte, len(payloads[i]))
+			u.Unpack(p, got[i], mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+		})
+	}
+	if err := w.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("pair %v payload corrupted", pairs[i])
+		}
+	}
+}

@@ -36,6 +36,20 @@ type Config struct {
 	// Tracer, when non-nil, records gateway pipeline spans for the
 	// Figure 5/8 timelines.
 	Tracer *trace.Tracer
+	// Reliable switches the virtual channel from the paper's streaming
+	// GTM to the reliable datagram protocol (see reliable.go): sequenced,
+	// checksummed, acknowledged packets with retransmission and
+	// multi-gateway failover. Required for running under fault injection.
+	Reliable bool
+	// Retry tunes the reliability protocol; zero fields take defaults.
+	// Only meaningful with Reliable.
+	Retry RetryPolicy
+	// FallbackTopo, when non-nil in reliable mode, is a larger topology
+	// (typically the full configuration including the slow control
+	// network) whose extra networks become alternate paths once the
+	// primary topology has no live route. Its node set must contain every
+	// node of the primary topology.
+	FallbackTopo *topo.Topology
 }
 
 // DefaultConfig returns the paper's forwarding configuration with a 32 KB
@@ -54,6 +68,9 @@ func (c Config) validate() error {
 	if c.InflowLimit < 0 {
 		return fmt.Errorf("fwd: negative InflowLimit")
 	}
+	if c.FallbackTopo != nil && !c.Reliable {
+		return fmt.Errorf("fwd: FallbackTopo requires Reliable")
+	}
 	return nil
 }
 
@@ -65,10 +82,12 @@ type Binding struct {
 }
 
 // incoming is an announced message on one of a node's regular channels,
-// funnelled into the node's merged arrival queue by its polling threads.
+// funnelled into the node's merged arrival queue by its polling threads. In
+// reliable mode it is instead a fully-reassembled reliable message.
 type incoming struct {
-	ep *mad.Endpoint
-	a  *mad.Arrival
+	ep  *mad.Endpoint
+	a   *mad.Arrival
+	rel *relMsg
 }
 
 // VirtualChannel is the user-facing communication object of §2.2.1:
@@ -87,6 +106,10 @@ type VirtualChannel struct {
 	nodes   map[string]*mad.Node
 	merged  map[mad.Rank]*vsync.Chan[incoming]
 	gates   map[string]*Gateway
+
+	// Reliable-mode state: one engine per node, in declaration order.
+	rel      map[string]*relEngine
+	relOrder []string
 }
 
 // Build creates the nodes, real channels, routing table and gateway engines
@@ -100,7 +123,24 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 	if len(sess.Nodes()) != 0 {
 		return nil, fmt.Errorf("fwd: session already has nodes; Build owns node creation")
 	}
-	for _, nw := range tp.Networks() {
+	// In reliable mode with a fallback topology, nodes and real channels
+	// are built over the fallback (superset) topology so the alternate
+	// networks exist as forwarding paths; routing still prefers tp.
+	buildTopo := tp
+	if cfg.Reliable && cfg.FallbackTopo != nil {
+		buildTopo = cfg.FallbackTopo
+		for _, n := range tp.Nodes() {
+			if _, ok := buildTopo.Node(n.Name); !ok {
+				return nil, fmt.Errorf("fwd: FallbackTopo is missing node %s", n.Name)
+			}
+		}
+		for _, nw := range tp.Networks() {
+			if _, ok := buildTopo.Network(nw.Name); !ok {
+				return nil, fmt.Errorf("fwd: FallbackTopo is missing network %s", nw.Name)
+			}
+		}
+	}
+	for _, nw := range buildTopo.Networks() {
 		if _, ok := bindings[nw.Name]; !ok {
 			return nil, fmt.Errorf("fwd: no binding for network %s", nw.Name)
 		}
@@ -117,19 +157,31 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 		merged:  make(map[mad.Rank]*vsync.Chan[incoming]),
 		gates:   make(map[string]*Gateway),
 	}
-	for _, n := range tp.Nodes() {
+	for _, n := range buildTopo.Nodes() {
 		vc.nodes[n.Name] = sess.AddNode(n.Name)
 	}
 	vc.tbl = route.Compute(tp)
 
 	// Regular channels: one per network over all attached nodes.
-	for _, nw := range tp.Networks() {
+	for _, nw := range buildTopo.Networks() {
 		b := bindings[nw.Name]
 		members := make([]*mad.Node, len(nw.Members))
 		for i, m := range nw.Members {
 			members[i] = vc.nodes[m]
 		}
 		vc.regular[nw.Name] = sess.NewChannel("reg:"+nw.Name, b.Net, b.Drv, members...)
+	}
+
+	// Per-node merged arrival queues.
+	for _, n := range buildTopo.Nodes() {
+		node := vc.nodes[n.Name]
+		vc.merged[node.Rank] = vsync.NewChan[incoming](fmt.Sprintf("merged:%s", n.Name), 4096)
+	}
+
+	if cfg.Reliable {
+		vc.relOrder = buildTopo.NodeNames()
+		vc.buildReliable(buildTopo)
+		return vc, nil
 	}
 
 	// Special channels exist on every network some route crosses on a
@@ -167,14 +219,13 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 		vc.special[nw.Name] = sess.NewChannel("spc:"+nw.Name, b.Net, b.Drv, members...)
 	}
 
-	// Per-node merged arrival queues fed by one polling thread per
-	// (node, regular channel) — "a polling mechanism ... to poll multiple
-	// networks at the same time" (§2.2.2).
+	// The merged queues are fed by one polling thread per (node, regular
+	// channel) — "a polling mechanism ... to poll multiple networks at
+	// the same time" (§2.2.2).
 	sim := sess.Platform.Sim
 	for _, n := range tp.Nodes() {
 		node := vc.nodes[n.Name]
-		q := vsync.NewChan[incoming](fmt.Sprintf("merged:%s", n.Name), 4096)
-		vc.merged[node.Rank] = q
+		q := vc.merged[node.Rank]
 		for _, nwName := range n.Networks {
 			ep := vc.regular[nwName].At(node)
 			sim.SpawnDaemon(fmt.Sprintf("poll:%s:%s", n.Name, nwName), func(p *vtime.Proc) {
@@ -258,6 +309,7 @@ func (e *Endpoint) Node() *mad.Node { return e.node }
 type Packing struct {
 	plain *mad.Packing
 	gtm   *gtmPacking
+	rel   *relPacking
 	ended bool
 }
 
@@ -267,6 +319,15 @@ type Packing struct {
 func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
 	if dst == e.node.Name {
 		panic("fwd: message to self on " + dst)
+	}
+	if e.vc.cfg.Reliable {
+		// Reliable datagram mode: every message, direct or forwarded,
+		// takes the uniform packet path; routes are found per packet
+		// so they can change under faults.
+		if _, ok := e.vc.nodes[dst]; !ok {
+			panic("fwd: unknown destination " + dst)
+		}
+		return &Packing{rel: newRelPacking(e.vc.rel[e.node.Name], dst)}
 	}
 	r, ok := e.vc.tbl.Lookup(e.node.Name, dst)
 	if !ok {
@@ -294,6 +355,10 @@ func (px *Packing) Pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMo
 		px.plain.Pack(p, data, s, r)
 		return
 	}
+	if px.rel != nil {
+		px.rel.pack(p, data, s, r)
+		return
+	}
 	px.gtm.pack(p, data, s, r)
 }
 
@@ -307,6 +372,10 @@ func (px *Packing) EndPacking(p *vtime.Proc) {
 		px.plain.EndPacking(p)
 		return
 	}
+	if px.rel != nil {
+		px.rel.end(p)
+		return
+	}
 	px.gtm.end(p)
 }
 
@@ -314,6 +383,7 @@ func (px *Packing) EndPacking(p *vtime.Proc) {
 type Unpacking struct {
 	plain *mad.Unpacking
 	gtm   *gtmUnpacking
+	rel   *relUnpacking
 	from  mad.Rank
 	fwd   bool
 	ended bool
@@ -329,6 +399,12 @@ func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
 	in, ok := e.vc.merged[e.node.Rank].Recv(p)
 	if !ok {
 		panic("fwd: merged arrival queue closed")
+	}
+	if in.rel != nil {
+		ru := newRelUnpacking(e.vc.rel[e.node.Name], in.rel)
+		srcName := e.vc.sess.Node(in.rel.origin).Name
+		fwd := len(e.vc.tp.SharedNetworks(srcName, e.node.Name)) == 0
+		return &Unpacking{rel: ru, from: in.rel.origin, fwd: fwd}
 	}
 	if in.a.Kind() == mad.KindGTM {
 		g := newGTMUnpacking(p, e.vc, e.node, in.a)
@@ -354,6 +430,10 @@ func (u *Unpacking) Unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.Recv
 		u.plain.Unpack(p, dst, s, r)
 		return
 	}
+	if u.rel != nil {
+		u.rel.unpack(p, dst, s, r)
+		return
+	}
 	u.gtm.unpack(p, dst, s, r)
 }
 
@@ -365,6 +445,10 @@ func (u *Unpacking) EndUnpacking(p *vtime.Proc) {
 	u.ended = true
 	if u.plain != nil {
 		u.plain.EndUnpacking(p)
+		return
+	}
+	if u.rel != nil {
+		u.rel.end(p)
 		return
 	}
 	u.gtm.end(p)

@@ -11,7 +11,9 @@ package hw
 
 import (
 	"fmt"
+	"sort"
 
+	"madgo/internal/fault"
 	"madgo/internal/fluid"
 	"madgo/internal/vtime"
 )
@@ -86,12 +88,56 @@ func DefaultCPU() CPUParams {
 type Platform struct {
 	Sim    *vtime.Sim
 	Engine *fluid.Engine
-	hosts  map[string]*Host
+	// Faults is the armed fault injector, nil when fault injection is
+	// off. The link engine consults it on every reliable transmission.
+	Faults   *fault.Injector
+	hosts    map[string]*Host
+	networks []*Network
 }
 
 // NewPlatform creates a platform on the given simulation.
 func NewPlatform(sim *vtime.Sim) *Platform {
 	return &Platform{Sim: sim, Engine: fluid.NewEngine(sim), hosts: make(map[string]*Host)}
+}
+
+// ArmFaults installs a fault injector on the platform and schedules its
+// flap/crash windows: when a window opens, every in-flight fluid flow
+// crossing the affected wires (flap) or the crashed host's bus (crash) is
+// cancelled — the bytes already committed to a dead medium are lost, not
+// delivered late — and a window-wide span is recorded to the injector's
+// tracer. Probabilistic drop/corruption needs no arming; the link engine
+// queries the injector per packet.
+func (pl *Platform) ArmFaults(inj *fault.Injector) {
+	if pl.Faults != nil {
+		panic("hw: ArmFaults called twice")
+	}
+	pl.Faults = inj
+	tr := inj.Tracer()
+	for _, w := range inj.Windows() {
+		w := w
+		end := w.At.Add(w.For)
+		if w.For == 0 {
+			end = w.At // never restarts; draw a point event
+		}
+		pl.Sim.At(w.At, func() {
+			switch w.Kind {
+			case fault.Flap:
+				tr.Record("fault:"+w.Net, "flap", 0, w.At, end)
+				for _, n := range pl.networks {
+					if n.Name == w.Net {
+						for _, wire := range n.sortedWires() {
+							pl.Engine.CancelOn(wire)
+						}
+					}
+				}
+			case fault.Crash:
+				tr.Record("fault:"+w.Node, "crash", 0, w.At, end)
+				if h, ok := pl.hosts[w.Node]; ok {
+					pl.Engine.CancelOn(h.Bus)
+				}
+			}
+		})
+	}
 }
 
 // Host is one machine: a PCI bus plus CPU cost parameters and copy
@@ -350,7 +396,29 @@ type Network struct {
 
 // NewNetwork creates a network instance with the given NIC model.
 func (pl *Platform) NewNetwork(name string, nic NICParams) *Network {
-	return &Network{Name: name, NIC: nic, platform: pl, wires: make(map[[2]string]*fluid.Resource)}
+	n := &Network{Name: name, NIC: nic, platform: pl, wires: make(map[[2]string]*fluid.Resource)}
+	pl.networks = append(pl.networks, n)
+	return n
+}
+
+// sortedWires returns the network's wire resources in deterministic
+// (from, to) order, for fault-window flow cancellation.
+func (n *Network) sortedWires() []*fluid.Resource {
+	keys := make([][2]string, 0, len(n.wires))
+	for k := range n.wires {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*fluid.Resource, len(keys))
+	for i, k := range keys {
+		out[i] = n.wires[k]
+	}
+	return out
 }
 
 // Wire returns the cable resource for the directed pair (from, to),

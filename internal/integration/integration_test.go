@@ -6,6 +6,7 @@ package integration_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -93,9 +94,9 @@ func TestAllPairsTraffic(t *testing.T) {
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
-	msgs, _, _ := sys.GatewayStats("gw")
-	if msgs != int64(crossCluster) {
-		t.Errorf("gateway relayed %d messages, want %d cross-cluster pairs", msgs, crossCluster)
+	gs, _ := sys.GatewayStats("gw")
+	if gs.Messages != int64(crossCluster) {
+		t.Errorf("gateway relayed %d messages, want %d cross-cluster pairs", gs.Messages, crossCluster)
 	}
 }
 
@@ -229,8 +230,8 @@ func TestDeterministicEndToEnd(t *testing.T) {
 		if err := sys.Run(); err != nil {
 			t.Fatal(err)
 		}
-		_, pkts, bytes := sys.GatewayStats("gw")
-		return sys.Now(), pkts, bytes
+		gs, _ := sys.GatewayStats("gw")
+		return sys.Now(), gs.Packets, gs.Bytes
 	}
 	t1, p1, b1 := run()
 	t2, p2, b2 := run()
@@ -292,9 +293,9 @@ func TestGatewayAsEndpointWhileRelaying(t *testing.T) {
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
-	msgs, _, bytes := sys.GatewayStats("gw")
-	if msgs != 1 || bytes != stream {
-		t.Errorf("gateway stats %d/%d", msgs, bytes)
+	gs, _ := sys.GatewayStats("gw")
+	if gs.Messages != 1 || gs.Bytes != stream {
+		t.Errorf("gateway stats %d/%d", gs.Messages, gs.Bytes)
 	}
 }
 
@@ -339,8 +340,160 @@ node l3 n3
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
-	msgs, _, _ := sys.GatewayStats("hub")
-	if msgs != int64(len(leaves)) {
-		t.Errorf("hub relayed %d, want %d", msgs, len(leaves))
+	gs, _ := sys.GatewayStats("hub")
+	if gs.Messages != int64(len(leaves)) {
+		t.Errorf("hub relayed %d, want %d", gs.Messages, len(leaves))
+	}
+}
+
+// TestGatewayKillReliability is the fault-tolerance property test: over
+// random chain topologies with one or two gateways per cluster boundary,
+// crashing any redundant (non-articulation) gateway must leave ring traffic
+// byte-exact, while crashing a sole (articulation) gateway must surface a
+// typed DeliveryError — never a deadlock.
+func TestGatewayKillReliability(t *testing.T) {
+	protos := []string{"sci", "myrinet", "ethernet"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		nets := 2 + rng.Intn(2)
+		var sb strings.Builder
+		for i := 0; i < nets; i++ {
+			fmt.Fprintf(&sb, "network n%d %s\n", i, protos[(trial+i)%len(protos)])
+		}
+		var leaves []string
+		var gateways []string
+		redundant := make(map[string]bool)
+		for i := 0; i < nets; i++ {
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				n := fmt.Sprintf("leaf%d_%d", i, j)
+				fmt.Fprintf(&sb, "node %s n%d\n", n, i)
+				leaves = append(leaves, n)
+			}
+		}
+		for i := 0; i < nets-1; i++ {
+			k := 1 + rng.Intn(2)
+			for j := 0; j < k; j++ {
+				g := fmt.Sprintf("g%d_%d", i, j)
+				fmt.Fprintf(&sb, "node %s n%d n%d\n", g, i, i+1)
+				gateways = append(gateways, g)
+				redundant[g] = k > 1
+			}
+		}
+		cfgText := sb.String()
+		for _, victim := range gateways {
+			plan := madeleine.NewFaultPlan(int64(trial)).Crash(victim, 0, 0)
+			sys, err := madeleine.NewSystem(cfgText, madeleine.WithFaults(plan))
+			if err != nil {
+				t.Fatalf("trial %d: %v\n%s", trial, err, cfgText)
+			}
+			// Ring traffic over the leaf nodes: the wrap-around pair
+			// crosses every cluster boundary, so the dead gateway's
+			// bridge always carries traffic.
+			payloads := make([][]byte, len(leaves))
+			got := make([][]byte, len(leaves))
+			for i := range leaves {
+				i := i
+				src, dst := leaves[i], leaves[(i+1)%len(leaves)]
+				payloads[i] = pattern(2000+i*500, trial)
+				sys.Spawn("s:"+src, func(p *madeleine.Proc) {
+					px := sys.At(src).BeginPacking(p, dst)
+					px.Pack(p, payloads[i], madeleine.SendCheaper, madeleine.ReceiveCheaper)
+					px.EndPacking(p)
+				})
+				sys.Spawn("r:"+dst, func(p *madeleine.Proc) {
+					u := sys.At(dst).BeginUnpacking(p)
+					got[i] = make([]byte, len(payloads[i]))
+					u.Unpack(p, got[i], madeleine.SendCheaper, madeleine.ReceiveCheaper)
+					u.EndUnpacking(p)
+				})
+			}
+			err = sys.Run()
+			if redundant[victim] {
+				if err != nil {
+					t.Errorf("trial %d: killing redundant %s: %v\n%s", trial, victim, err, cfgText)
+					continue
+				}
+				for i := range leaves {
+					if !bytes.Equal(got[i], payloads[i]) {
+						t.Errorf("trial %d: killing redundant %s corrupted %s->%s",
+							trial, victim, leaves[i], leaves[(i+1)%len(leaves)])
+					}
+				}
+			} else {
+				var de *madeleine.DeliveryError
+				if !errors.As(err, &de) {
+					t.Errorf("trial %d: killing articulation %s: Run() = %v, want *DeliveryError\n%s",
+						trial, victim, err, cfgText)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultDeterminism runs the same seeded fault schedule twice and demands
+// identical trace timelines, delivery statistics and final virtual times —
+// the reproducibility contract of the fault-injection substrate.
+func TestFaultDeterminism(t *testing.T) {
+	cfg := `
+network sci0 sci
+network myri0 myrinet
+node a0 sci0
+node a1 sci0
+node gw sci0 myri0
+node b0 myri0
+node b1 myri0
+fault seed 5
+fault drop * 0.03
+fault corrupt * 0.01
+fault flap myri0 10ms 5ms
+fault crash gw 20ms 20ms
+`
+	run := func() (madeleine.Time, madeleine.DeliveryStats, string) {
+		tr := madeleine.NewTracer()
+		sys, err := madeleine.NewSystem(cfg, madeleine.WithTracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := [][2]string{{"a0", "b0"}, {"a1", "b1"}, {"b0", "a0"}}
+		for i, pr := range pairs {
+			i, pr := i, pr
+			payload := pattern(120_000+i*1000, i)
+			sys.Spawn("s:"+pr[0], func(p *madeleine.Proc) {
+				px := sys.At(pr[0]).BeginPacking(p, pr[1])
+				px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+				px.EndPacking(p)
+			})
+			sys.Spawn("r:"+pr[1], func(p *madeleine.Proc) {
+				u := sys.At(pr[1]).BeginUnpacking(p)
+				got := make([]byte, len(payload))
+				u.Unpack(p, got, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+				u.EndUnpacking(p)
+				if !bytes.Equal(got, payload) {
+					t.Errorf("%s -> %s corrupted", pr[0], pr[1])
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var spans strings.Builder
+		for _, s := range tr.Spans() {
+			fmt.Fprintln(&spans, s.String())
+		}
+		return sys.Now(), sys.DeliveryStats(), spans.String()
+	}
+	t1, ds1, tl1 := run()
+	t2, ds2, tl2 := run()
+	if t1 != t2 {
+		t.Errorf("final times differ: %v vs %v", t1, t2)
+	}
+	if ds1 != ds2 {
+		t.Errorf("delivery stats differ: %+v vs %+v", ds1, ds2)
+	}
+	if tl1 != tl2 {
+		t.Error("trace timelines differ between identically-seeded runs")
+	}
+	if ds1.Retransmits == 0 {
+		t.Error("faulty run saw zero retransmissions")
 	}
 }

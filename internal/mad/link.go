@@ -3,6 +3,7 @@ package mad
 import (
 	"fmt"
 
+	"madgo/internal/fault"
 	"madgo/internal/fluid"
 	"madgo/internal/hw"
 	"madgo/internal/vtime"
@@ -49,6 +50,12 @@ type TxMeta struct {
 	// Seq is the per-link sequence number (diagnostics; links are FIFO
 	// by construction).
 	Seq uint64
+	// Reliable marks a transmission of the fwd reliability protocol: it
+	// always takes the plain eager path (no rendezvous or post gating,
+	// which would wedge a sender when the counterpart is lost) and it is
+	// the only traffic the fault injector may drop, corrupt or stall —
+	// unprotected traffic keeps the seed's exact behaviour.
+	Reliable bool
 }
 
 func (m TxMeta) payloadBytes() int {
@@ -77,6 +84,12 @@ type transmission struct {
 	senderW    *vtime.Waker // rendezvous: sender waits for the grant
 	recvW      *vtime.Waker // rendezvous: receiver waits for completion
 	granted    *postedRecv
+
+	// Fault verdicts, decided at send time so the injected randomness is
+	// consumed in deterministic scheduler order. corruptAt < 0 means no
+	// corruption.
+	dropped   bool
+	corruptAt int
 }
 
 // postedRecv is an outstanding posted receive on a link. dst == nil means
@@ -152,13 +165,18 @@ func (l *Link) AcquireRecv(p *vtime.Proc) { l.recvMu.Lock(p) }
 // ReleaseRecv unlocks the receiving side after a message.
 func (l *Link) ReleaseRecv(p *vtime.Proc) { l.recvMu.Unlock(p) }
 
-// flow charges the transfer over sender bus → wire → receiver bus.
-func (l *Link) flow(p *vtime.Proc, wireBytes, payloadLen int) {
+// faults returns the platform's armed fault injector (nil when fault
+// injection is off).
+func (l *Link) faults() *fault.Injector { return l.Src.Session.Platform.Faults }
+
+// flow charges the transfer over sender bus → wire → receiver bus. It
+// reports false when a fault window cancelled the flow mid-transfer.
+func (l *Link) flow(p *vtime.Proc, wireBytes, payloadLen int) bool {
 	demand := l.nic.EffectiveSendRate(payloadLen)
 	if l.nic.RecvEngineRate < demand {
 		demand = l.nic.RecvEngineRate
 	}
-	l.engine().Transfer(p, fluid.Spec{
+	_, ok := l.engine().TransferOK(p, fluid.Spec{
 		Name:   fmt.Sprintf("%s:%s->%s", l.Channel.Name, l.Src.Name, l.Dst.Name),
 		Class:  l.nic.SendBusClass,
 		Demand: demand,
@@ -169,6 +187,7 @@ func (l *Link) flow(p *vtime.Proc, wireBytes, payloadLen int) {
 			{R: l.Dst.Host.Bus, Class: l.nic.RecvBusClass},
 		},
 	})
+	return ok
 }
 
 // Send transmits data as one transmission. It blocks until the sending NIC
@@ -181,16 +200,24 @@ func (l *Link) Send(p *vtime.Proc, meta TxMeta, data []byte) {
 	}
 	l.seq++
 	meta.Seq = l.seq
-	tx := &transmission{meta: meta, payload: data}
+	tx := &transmission{meta: meta, payload: data, corruptAt: -1}
 
+	if meta.Reliable {
+		if inj := l.faults(); inj != nil {
+			if d := inj.StallDelay(l.Src.Name, p.Now()); d > 0 {
+				p.Sleep(d)
+			}
+		}
+	}
 	p.Sleep(l.nic.SendOverhead)
 	l.drv.OnSend(p, l.Src.Host, len(data))
+	l.judge(p, tx)
 
-	if l.nic.RendezvousThreshold > 0 && len(data) > l.nic.RendezvousThreshold {
+	if !meta.Reliable && l.nic.RendezvousThreshold > 0 && len(data) > l.nic.RendezvousThreshold {
 		l.sendRendezvous(p, tx)
 		return
 	}
-	if l.nic.PostGateThreshold > 0 && len(data) > l.nic.PostGateThreshold {
+	if !meta.Reliable && l.nic.PostGateThreshold > 0 && len(data) > l.nic.PostGateThreshold {
 		// Post-gated eager path: large payloads stream straight into a
 		// buffer the receiver has exposed; the sender waits (cheaply)
 		// until one is there. The message is announced first so the
@@ -215,8 +242,45 @@ func (l *Link) Send(p *vtime.Proc, meta TxMeta, data []byte) {
 	if l.credits != nil {
 		l.credits.Acquire(p, 1)
 	}
-	l.flow(p, tx.meta.wireBytes(), len(data))
+	ok := l.flow(p, tx.meta.wireBytes(), len(data))
+	if tx.meta.Reliable && (tx.dropped || !ok) {
+		// The packet never reaches the receiver: a drop verdict, or a
+		// fault window cancelled the flow mid-transfer. The credit is
+		// returned (the slot was never consumed on the far side) and
+		// the sender's retry machinery takes over.
+		l.releaseCredit(tx)
+		return
+	}
 	l.sim().After(l.nic.WireLatency, func() { l.deliver(tx) })
+}
+
+// judge draws the fault verdicts for a reliable transmission at send time,
+// so the injector's randomness is consumed in deterministic scheduler order
+// regardless of how delivery later interleaves.
+func (l *Link) judge(p *vtime.Proc, tx *transmission) {
+	if !tx.meta.Reliable {
+		return
+	}
+	inj := l.faults()
+	if inj == nil {
+		return
+	}
+	v, pos := inj.Packet(l.Channel.net.Name, l.Src.Name, l.Dst.Name, p.Now(), len(tx.payload))
+	switch v {
+	case fault.DropPacket:
+		tx.dropped = true
+	case fault.CorruptPacket:
+		tx.corruptAt = pos
+	}
+}
+
+// applyCorruption flips one byte of the receiver-side copy when the send-time
+// verdict said so. Only the receiver's copy is damaged — the sender's buffer
+// is the retransmit source and stays intact, like a wire-level bit error.
+func applyCorruption(buf []byte, tx *transmission) {
+	if tx.meta.Reliable && tx.corruptAt >= 0 && len(buf) > 0 {
+		buf[tx.corruptAt%len(buf)] ^= 0xA5
+	}
 }
 
 func (l *Link) sendRendezvous(p *vtime.Proc, tx *transmission) {
@@ -270,12 +334,14 @@ func (l *Link) deliver(tx *transmission) {
 		} else {
 			if g.dst != nil && !l.nic.StaticBuffers {
 				l.place(g, tx.payload)
+				applyCorruption(g.dst[:len(tx.payload)], tx)
 			} else {
 				// A static-buffer NIC can only land data in its
 				// own slots; the posted receiver pays the copy
 				// out — the unavoidable copy of §2.3 when both
 				// gateway sides are static.
 				tx.slot = snapshot(tx.payload)
+				applyCorruption(tx.slot, tx)
 			}
 			l.releaseCredit(tx)
 			g.w.Wake()
@@ -286,6 +352,7 @@ func (l *Link) deliver(tx *transmission) {
 	}
 	if !tx.rendezvous {
 		tx.slot = snapshot(tx.payload)
+		applyCorruption(tx.slot, tx)
 		tx.dataReady = true
 	}
 	if !l.mailbox.TrySend(tx) {

@@ -90,6 +90,16 @@ const (
 	// special channel, or arriving at its final destination on a regular
 	// channel after crossing the last gateway.
 	KindGTM
+	// KindRel is a reliable datagram of the fwd reliability protocol: a
+	// self-contained, checksummed message fragment with a sequence
+	// number, delivered hop by hop with acknowledgements.
+	KindRel
+	// KindRelAck is the hop-level acknowledgement of one KindRel
+	// datagram.
+	KindRelAck
+	// KindRelE2E is the end-to-end acknowledgement the final destination
+	// sends back to a message's origin once every fragment arrived.
+	KindRelE2E
 )
 
 func (k Kind) String() string {
@@ -98,6 +108,12 @@ func (k Kind) String() string {
 		return "plain"
 	case KindGTM:
 		return "gtm"
+	case KindRel:
+		return "rel"
+	case KindRelAck:
+		return "relack"
+	case KindRelE2E:
+		return "rele2e"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

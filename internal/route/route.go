@@ -53,6 +53,7 @@ type Table struct {
 	topo   *topo.Topology
 	netIdx map[string]int
 	routes map[[2]string]Route
+	avoid  map[string]bool
 }
 
 // Compute builds the routing table with breadth-first search over the
@@ -61,12 +62,24 @@ type Table struct {
 // static configuration does), then by node name, so tables are
 // deterministic and symmetric paths mirror each other.
 func Compute(t *topo.Topology) *Table {
-	tb := &Table{topo: t, netIdx: make(map[string]int), routes: make(map[[2]string]Route)}
+	return ComputeAvoiding(t, nil)
+}
+
+// ComputeAvoiding builds a routing table that routes around the given set of
+// nodes: avoided nodes appear as neither source, destination nor intermediate
+// hop of any route. The reliability layer uses it to recompute paths once a
+// gateway is presumed dead; pairs that only connect through avoided nodes
+// simply come back unreachable from Lookup (ok=false), never as a panic.
+func ComputeAvoiding(t *topo.Topology, avoid map[string]bool) *Table {
+	tb := &Table{topo: t, netIdx: make(map[string]int), routes: make(map[[2]string]Route), avoid: avoid}
 	for i, n := range t.Networks() {
 		tb.netIdx[n.Name] = i
 	}
 	names := t.NodeNames()
 	for _, src := range names {
+		if avoid[src] {
+			continue
+		}
 		tb.computeFrom(src)
 	}
 	return tb
@@ -94,7 +107,7 @@ func (tb *Table) computeFrom(src string) {
 			for _, nw := range node.Networks {
 				net, _ := t.Network(nw)
 				for _, peer := range net.Members {
-					if peer != cur {
+					if peer != cur && !tb.avoid[peer] {
 						hops = append(hops, neighbor{network: nw, node: peer})
 					}
 				}

@@ -183,3 +183,70 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestComputeAvoiding(t *testing.T) {
+	// Two parallel gateways between the clusters: avoiding one must route
+	// every cross-cluster pair through the other.
+	tp, err := topo.NewBuilder().
+		Network("sci0", "sci").
+		Network("myri0", "myrinet").
+		Node("a0", "sci0").
+		Node("g1", "sci0", "myri0").
+		Node("g2", "sci0", "myri0").
+		Node("b0", "myri0").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Compute(tp)
+	r, ok := full.Lookup("a0", "b0")
+	if !ok {
+		t.Fatal("a0->b0 unroutable in the full table")
+	}
+	preferred := r.Gateways()[0]
+	other := "g2"
+	if preferred == "g2" {
+		other = "g1"
+	}
+
+	avoided := ComputeAvoiding(tp, map[string]bool{preferred: true})
+	r, ok = avoided.Lookup("a0", "b0")
+	if !ok {
+		t.Fatalf("a0->b0 unroutable while avoiding %s", preferred)
+	}
+	if gws := r.Gateways(); len(gws) != 1 || gws[0] != other {
+		t.Errorf("avoiding %s routed via %v, want [%s]", preferred, gws, other)
+	}
+
+	// Avoiding both gateways partitions the clusters: the pair stays
+	// known (no panic) but unroutable.
+	none := ComputeAvoiding(tp, map[string]bool{"g1": true, "g2": true})
+	if _, ok := none.Lookup("a0", "b0"); ok {
+		t.Error("a0->b0 routable with every gateway avoided")
+	}
+	// Routes from an avoided node itself are dropped too.
+	if _, ok := none.Lookup("g1", "a0"); ok {
+		t.Error("route from an avoided source survived")
+	}
+	// ... and so are routes to it: a presumed-dead node receives nothing.
+	if _, ok := none.Lookup("a0", "g1"); ok {
+		t.Error("route to an avoided destination survived")
+	}
+	// Traffic between live nodes of one cluster is untouched.
+	if r, ok := none.Lookup("a0", "b0"); ok || len(r) != 0 {
+		t.Errorf("partitioned pair = %v, %v", r, ok)
+	}
+}
+
+func TestComputeAvoidingNil(t *testing.T) {
+	tp, err := topo.NewBuilder().
+		Network("n0", "sci").
+		Node("x", "n0").Node("y", "n0").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ComputeAvoiding(tp, nil).String() != Compute(tp).String() {
+		t.Error("ComputeAvoiding(nil) differs from Compute")
+	}
+}

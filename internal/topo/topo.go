@@ -8,7 +8,12 @@ package topo
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
+
+	"madgo/internal/fault"
+	"madgo/internal/vtime"
 )
 
 // Network is one physical interconnect instance in the configuration.
@@ -33,6 +38,12 @@ type Topology struct {
 	nodes    map[string]*Node
 	netOrder []string
 	nodeOrd  []string
+
+	// Faults is the fault schedule declared alongside the configuration
+	// (the `fault ...` DSL directives), nil when none was given. It rides
+	// on the topology so a single config file fully describes an
+	// experiment; Restrict carries it over unchanged.
+	Faults *fault.Plan
 }
 
 // Builder accumulates a topology declaratively.
@@ -213,7 +224,7 @@ func (t *Topology) SharedNetworks(a, b string) []string {
 }
 
 // String renders the topology in the textual configuration format Parse
-// accepts.
+// accepts. The fault schedule, if any, is not rendered.
 func (t *Topology) String() string {
 	var sb strings.Builder
 	for _, name := range t.netOrder {
@@ -232,8 +243,25 @@ func (t *Topology) String() string {
 //	# comment
 //	network <name> <protocol>
 //	node <name> <network> [<network>...]
+//	fault seed <n>
+//	fault drop <network|*> <probability>
+//	fault corrupt <network|*> <probability>
+//	fault flap <network> <at> <for>
+//	fault stall <node> <at> <for> <delay>
+//	fault crash <node> <at> [<for>]
+//
+// Times and durations use Go duration syntax ("10ms", "1.5s"). A crash
+// without <for> is permanent. Any fault directive attaches a schedule to the
+// returned Topology's Faults field; without one, Faults stays nil.
 func Parse(text string) (*Topology, error) {
 	b := NewBuilder()
+	var plan *fault.Plan
+	faults := func() *fault.Plan {
+		if plan == nil {
+			plan = fault.NewPlan(0)
+		}
+		return plan
+	}
 	for lineno, raw := range strings.Split(text, "\n") {
 		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -251,11 +279,136 @@ func Parse(text string) (*Topology, error) {
 				return nil, fmt.Errorf("topo: line %d: node wants <name> <network>...", lineno+1)
 			}
 			b.Node(fields[1], fields[2:]...)
+		case "fault":
+			if err := parseFault(faults, fields[1:]); err != nil {
+				return nil, fmt.Errorf("topo: line %d: %v", lineno+1, err)
+			}
 		default:
 			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineno+1, fields[0])
 		}
 	}
-	return b.Build()
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("topo: %v", err)
+		}
+		// The plan is well-formed; now pin its targets to the topology.
+		for _, r := range plan.Rules {
+			if r.Net != "" && r.Net != "*" {
+				if _, ok := t.Network(r.Net); !ok {
+					return nil, fmt.Errorf("topo: fault rule names unknown network %q", r.Net)
+				}
+			}
+			if r.Node != "" {
+				if _, ok := t.Node(r.Node); !ok {
+					return nil, fmt.Errorf("topo: fault rule names unknown node %q", r.Node)
+				}
+			}
+		}
+		t.Faults = plan
+	}
+	return t, nil
+}
+
+// parseFault handles one `fault ...` directive (the leading keyword already
+// stripped).
+func parseFault(plan func() *fault.Plan, f []string) error {
+	dur := func(s string) (vtime.Duration, error) {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q: %v", s, err)
+		}
+		return vtime.Duration(d.Nanoseconds()), nil
+	}
+	at := func(s string) (vtime.Time, error) {
+		d, err := dur(s)
+		return vtime.Time(d), err
+	}
+	prob := func(s string) (float64, error) {
+		p, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad probability %q: %v", s, err)
+		}
+		return p, nil
+	}
+	if len(f) == 0 {
+		return fmt.Errorf("fault wants a subdirective (seed, drop, corrupt, flap, stall, crash)")
+	}
+	switch f[0] {
+	case "seed":
+		if len(f) != 2 {
+			return fmt.Errorf("fault seed wants <n>")
+		}
+		n, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %v", f[1], err)
+		}
+		plan().Seed = n
+	case "drop", "corrupt":
+		if len(f) != 3 {
+			return fmt.Errorf("fault %s wants <network|*> <probability>", f[0])
+		}
+		p, err := prob(f[2])
+		if err != nil {
+			return err
+		}
+		if f[0] == "drop" {
+			plan().Drop(f[1], p)
+		} else {
+			plan().Corrupt(f[1], p)
+		}
+	case "flap":
+		if len(f) != 4 {
+			return fmt.Errorf("fault flap wants <network> <at> <for>")
+		}
+		t0, err := at(f[2])
+		if err != nil {
+			return err
+		}
+		d, err := dur(f[3])
+		if err != nil {
+			return err
+		}
+		plan().Flap(f[1], t0, d)
+	case "stall":
+		if len(f) != 5 {
+			return fmt.Errorf("fault stall wants <node> <at> <for> <delay>")
+		}
+		t0, err := at(f[2])
+		if err != nil {
+			return err
+		}
+		d, err := dur(f[3])
+		if err != nil {
+			return err
+		}
+		delay, err := dur(f[4])
+		if err != nil {
+			return err
+		}
+		plan().Stall(f[1], t0, d, delay)
+	case "crash":
+		if len(f) != 3 && len(f) != 4 {
+			return fmt.Errorf("fault crash wants <node> <at> [<for>]")
+		}
+		t0, err := at(f[2])
+		if err != nil {
+			return err
+		}
+		var d vtime.Duration // zero = permanent
+		if len(f) == 4 {
+			if d, err = dur(f[3]); err != nil {
+				return err
+			}
+		}
+		plan().Crash(f[1], t0, d)
+	default:
+		return fmt.Errorf("unknown fault subdirective %q", f[0])
+	}
+	return nil
 }
 
 // Restrict returns a sub-topology containing only the named networks and
@@ -287,7 +440,12 @@ func (t *Topology) Restrict(nets ...string) (*Topology, error) {
 			b.Node(name, attached...)
 		}
 	}
-	return b.Build()
+	sub, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	sub.Faults = t.Faults
+	return sub, nil
 }
 
 // PaperTestbed returns the evaluation configuration of §3: a four-node SCI

@@ -3,6 +3,9 @@ package topo
 import (
 	"strings"
 	"testing"
+
+	"madgo/internal/fault"
+	"madgo/internal/vtime"
 )
 
 func TestPaperTestbed(t *testing.T) {
@@ -135,5 +138,76 @@ func TestStringFormat(t *testing.T) {
 	s := tp.String()
 	if !strings.Contains(s, "network sci0 sci") || !strings.Contains(s, "node gw sci0 myri0 eth0") {
 		t.Fatalf("unexpected format:\n%s", s)
+	}
+}
+
+func TestParseFaultDirectives(t *testing.T) {
+	src := `
+network sci0 sci
+network myri0 myrinet
+node a0 sci0
+node gw sci0 myri0
+node b0 myri0
+fault seed 42
+fault drop * 0.05
+fault corrupt myri0 0.01
+fault flap myri0 10ms 5ms
+fault stall gw 1ms 2ms 100us
+fault crash gw 20ms 30ms
+fault crash b0 50ms
+`
+	tp, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tp.Faults
+	if p == nil {
+		t.Fatal("fault directives produced no plan")
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	if len(p.Rules) != 6 {
+		t.Fatalf("parsed %d rules, want 6", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Kind != fault.Drop || r.Net != "*" || r.Prob != 0.05 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	r = p.Rules[3]
+	if r.Kind != fault.Stall || r.Node != "gw" ||
+		r.At != vtime.Time(vtime.Millisecond) || r.For != 2*vtime.Millisecond ||
+		r.Delay != 100*vtime.Microsecond {
+		t.Errorf("stall rule = %+v", r)
+	}
+	r = p.Rules[5]
+	if r.Kind != fault.Crash || r.Node != "b0" || r.For != 0 {
+		t.Errorf("open-ended crash rule = %+v", r)
+	}
+	// The schedule survives a network restriction.
+	sub, err := tp.Restrict("sci0", "myri0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Faults != p {
+		t.Error("Restrict dropped the fault plan")
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	base := "network n sci\nnode a n\nnode b n\n"
+	for name, line := range map[string]string{
+		"unknown subdirective": "fault explode a",
+		"bad seed":             "fault seed many",
+		"bad probability":      "fault drop * high",
+		"probability range":    "fault drop * 1.5",
+		"unknown net":          "fault flap nowhere 1ms 1ms",
+		"unknown node":         "fault crash nobody 1ms",
+		"bad duration":         "fault flap n soon 1ms",
+		"missing operand":      "fault crash",
+	} {
+		if _, err := Parse(base + line + "\n"); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
 	}
 }

@@ -191,6 +191,24 @@ func (t *Tracer) Timeline(t0, t1 vtime.Time, cols int) string {
 				mark = 'x'
 			case "header":
 				mark = 'h'
+			case "rexmit":
+				mark = 'R'
+			case "failover":
+				mark = 'F'
+			case "resend":
+				mark = 'M'
+			case "crash":
+				mark = 'C'
+			case "flap":
+				mark = '~'
+			case "drop":
+				mark = 'd'
+			case "corrupt", "corrupt-drop":
+				mark = 'c'
+			case "e2e":
+				mark = 'e'
+			case "dup":
+				mark = 'D'
 			default:
 				if len(s.Op) > 0 {
 					mark = s.Op[0]

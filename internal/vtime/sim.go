@@ -104,6 +104,13 @@ func (s *Sim) After(d Duration, fn func()) {
 // before Run returns the DeadlockError.
 func (s *Sim) OnIdle(fn func()) { s.idle = append(s.idle, fn) }
 
+// Abort is a panic value that ends the simulation cleanly: a process that
+// panics with an Abort makes Run return Err instead of re-raising the panic
+// in the caller. The reliability layer uses it to surface typed delivery
+// errors (a destination that stayed unreachable through every retry) without
+// either crashing the host program or leaving the simulation deadlocked.
+type Abort struct{ Err error }
+
 // DeadlockError reports that the event queue drained while processes were
 // still blocked. It lists the stuck processes and what they were last
 // waiting on.
@@ -118,7 +125,8 @@ func (e DeadlockError) Error() string {
 // Run executes the simulation until no events remain. It returns nil when
 // every process has finished, and a DeadlockError when processes remain
 // blocked with nothing left to wake them. A panic inside a process is
-// re-raised in the caller, annotated with the process name.
+// re-raised in the caller, annotated with the process name — except an
+// Abort, whose error is returned instead.
 func (s *Sim) Run() error {
 	return s.run(-1)
 }
@@ -152,7 +160,9 @@ func (s *Sim) run(deadline Time) error {
 		if p.state == stateDone || p.gen != e.gen {
 			continue // stale wake
 		}
-		s.resume(p)
+		if err := s.resume(p); err != nil {
+			return err
+		}
 	}
 	var stuck []string
 	for _, p := range s.live {
@@ -170,14 +180,20 @@ func (s *Sim) run(deadline Time) error {
 	return nil
 }
 
-// resume transfers control to p and waits for it to park or finish.
-func (s *Sim) resume(p *proc) {
+// resume transfers control to p and waits for it to park or finish. A
+// non-nil error is an Abort raised by the process; it stops the run.
+func (s *Sim) resume(p *proc) error {
 	p.state = stateRunning
 	s.current = p
 	p.resume <- struct{}{}
 	y := <-s.handoff
 	s.current = nil
 	if y.panicked != nil {
+		if ab, ok := y.panicked.(Abort); ok {
+			y.p.state = stateDone
+			delete(s.live, y.p.id)
+			return ab.Err
+		}
 		panic(fmt.Sprintf("vtime: process %q panicked: %v", y.p.name, y.panicked))
 	}
 	if y.done {
@@ -188,6 +204,7 @@ func (s *Sim) resume(p *proc) {
 		}
 		y.p.joiners = nil
 	}
+	return nil
 }
 
 // ready wakes a parked process at the current time (FIFO among same-time

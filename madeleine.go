@@ -51,6 +51,7 @@ import (
 	"madgo/internal/drivers/sbp"
 	"madgo/internal/drivers/sisci"
 	"madgo/internal/drivers/tcpnet"
+	"madgo/internal/fault"
 	"madgo/internal/fwd"
 	"madgo/internal/hw"
 	"madgo/internal/mad"
@@ -90,7 +91,25 @@ type (
 	Comm = coll.Comm
 	// ReduceOp combines float64 vectors element-wise in reductions.
 	ReduceOp = coll.Op
+	// FaultPlan is a seeded, deterministic fault schedule (packet loss,
+	// corruption, link flaps, NIC stalls, node crashes).
+	FaultPlan = fault.Plan
+	// RetryPolicy tunes the reliable delivery mode's timeouts and budgets.
+	RetryPolicy = fwd.RetryPolicy
+	// DeliveryError reports a message the reliable mode could not deliver
+	// within its retry budget; Run returns it instead of deadlocking.
+	DeliveryError = fwd.DeliveryError
+	// DeliveryStats aggregates the recovery work of a reliable run.
+	DeliveryStats = fwd.DeliveryStats
 )
+
+// NewFaultPlan starts an empty deterministic fault plan; chain Drop,
+// Corrupt, Flap, Stall and Crash on it and pass it to WithFaults.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
+
+// DefaultRetryPolicy returns the retry policy reliable mode uses when none
+// is given.
+func DefaultRetryPolicy() RetryPolicy { return fwd.DefaultRetryPolicy() }
 
 // Reduction operators for Comm.Reduce/AllReduce.
 var (
@@ -140,6 +159,18 @@ type Options struct {
 	// (e.g. the high-speed ones) when the configuration also declares a
 	// control network.
 	RouteNetworks []string
+	// Faults, when non-nil, arms the deterministic fault injector with
+	// this plan (and implies reliable delivery). A plan embedded in the
+	// topology configuration ("fault ..." directives) is used when this
+	// field is nil.
+	Faults *FaultPlan
+	// Retry overrides the reliable mode's retry policy (implies reliable
+	// delivery).
+	Retry *RetryPolicy
+	// Reliable switches the virtual channel to reliable datagram
+	// delivery: checksummed, acknowledged, retransmitted packets with
+	// gateway failover.
+	Reliable bool
 }
 
 // Option mutates Options.
@@ -174,6 +205,23 @@ func WithRouteNetworks(names ...string) Option {
 	return func(o *Options) { o.RouteNetworks = names }
 }
 
+// WithFaults arms the deterministic fault injector with the given plan and
+// switches the system to reliable delivery so the injected faults are
+// survivable.
+func WithFaults(p *FaultPlan) Option { return func(o *Options) { o.Faults = p } }
+
+// WithRetryPolicy sets the reliable mode's timeouts and retry budgets
+// (implies WithReliableDelivery).
+func WithRetryPolicy(rp RetryPolicy) Option { return func(o *Options) { o.Retry = &rp } }
+
+// WithReliableDelivery switches the virtual channel from the paper's
+// streaming forwarding to reliable datagram delivery: every packet is
+// checksummed and acknowledged hop by hop, lost or corrupted packets are
+// retransmitted with exponential backoff, and traffic fails over to
+// alternate gateways — or degrades to the control network when the channel
+// was restricted with WithRouteNetworks — when a node dies.
+func WithReliableDelivery() Option { return func(o *Options) { o.Reliable = true } }
+
 // System is a running simulated cluster of clusters.
 type System struct {
 	Sim      *vtime.Sim
@@ -206,16 +254,33 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
+	plan := o.Faults
+	if plan == nil {
+		plan = tp.Faults
+	}
+	reliable := o.Reliable || plan != nil || o.Retry != nil
 	sim := vtime.New()
 	pl := hw.NewPlatform(sim)
 	sess := mad.NewSession(pl)
+	// Reliable mode keeps the excluded control networks alive as failover
+	// paths, so drivers are bound for the full topology.
+	netTopo := vcTopo
+	if reliable {
+		netTopo = tp
+	}
 	bindings := make(map[string]fwd.Binding)
-	for _, nw := range vcTopo.Networks() {
+	for _, nw := range netTopo.Networks() {
 		drv, err := driverFor(nw.Protocol)
 		if err != nil {
 			return nil, err
 		}
 		bindings[nw.Name] = fwd.Binding{Net: pl.NewNetwork(nw.Name, drv.NIC()), Drv: drv}
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, err
+		}
+		pl.ArmFaults(fault.NewInjector(plan, o.Tracer))
 	}
 	if o.AutoMTU {
 		nets := vcTopo.Networks()
@@ -233,6 +298,15 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 		ZeroCopy:      !o.DisableZeroCopy,
 		InflowLimit:   o.InflowLimit,
 		Tracer:        o.Tracer,
+		Reliable:      reliable,
+	}
+	if reliable {
+		if o.Retry != nil {
+			cfg.Retry = *o.Retry
+		}
+		if vcTopo != tp {
+			cfg.FallbackTopo = tp
+		}
 	}
 	vc, err := fwd.Build(sess, vcTopo, bindings, cfg)
 	if err != nil {
@@ -282,12 +356,37 @@ func (s *System) NodeName(r Rank) string { return s.Session.Node(r).Name }
 // Gateways returns the nodes running forwarding engines.
 func (s *System) Gateways() []string { return s.Channel.Gateways() }
 
-// GatewayStats returns messages, packets and payload bytes relayed by the
-// named gateway.
-func (s *System) GatewayStats(name string) (messages, packets, bytes int64) {
-	g := s.Channel.Gateway(name)
-	return g.Messages(), g.Packets(), g.Bytes()
+// GatewayStats summarizes the relay and recovery work of one gateway.
+// Retransmits and Failovers are always zero outside reliable mode and on
+// fault-free reliable runs.
+type GatewayStats struct {
+	Messages    int64 // messages relayed
+	Packets     int64 // packets relayed
+	Bytes       int64 // payload bytes relayed
+	Retransmits int64 // per-hop packet retransmissions performed
+	Failovers   int64 // times a neighbour was presumed dead and rerouted around
 }
+
+// GatewayStats returns the relay statistics of the named gateway, with
+// ok=false when the node runs no forwarding engine.
+func (s *System) GatewayStats(name string) (GatewayStats, bool) {
+	g, ok := s.Channel.GatewayOK(name)
+	if !ok {
+		return GatewayStats{}, false
+	}
+	return GatewayStats{
+		Messages:    g.Messages(),
+		Packets:     g.Packets(),
+		Bytes:       g.Bytes(),
+		Retransmits: g.Retransmits(),
+		Failovers:   g.Failovers(),
+	}, true
+}
+
+// DeliveryStats aggregates the reliable mode's recovery work over every
+// node. All fields are zero in streaming mode and on fault-free reliable
+// runs.
+func (s *System) DeliveryStats() DeliveryStats { return s.Channel.DeliveryStats() }
 
 // Routes renders the routing table of the virtual channel.
 func (s *System) Routes() string { return s.Channel.Table().String() }
@@ -305,7 +404,8 @@ func (s *System) CommAt(self string, members ...string) (*Comm, error) {
 func NewTracer() *Tracer { return trace.New() }
 
 // Experiments returns the registered paper experiments (fig6, fig7, t1...,
-// a5); see cmd/madbench for a command-line runner.
+// a5) plus the reliability extension (r1); see cmd/madbench for a
+// command-line runner.
 func Experiments() []*Experiment { return bench.All() }
 
 // RouteTable computes the routing table of an arbitrary topology without

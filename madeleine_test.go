@@ -56,9 +56,15 @@ func TestSystemEndToEnd(t *testing.T) {
 	if sys.NodeName(from) != "a0" {
 		t.Errorf("From = %v", from)
 	}
-	msgs, pkts, b := sys.GatewayStats("gw")
-	if msgs != 1 || pkts == 0 || b != int64(len(payload)) {
-		t.Errorf("gateway stats = %d/%d/%d", msgs, pkts, b)
+	gs, ok := sys.GatewayStats("gw")
+	if !ok {
+		t.Fatal("GatewayStats(gw) not ok")
+	}
+	if gs.Messages != 1 || gs.Packets == 0 || gs.Bytes != int64(len(payload)) {
+		t.Errorf("gateway stats = %d/%d/%d", gs.Messages, gs.Packets, gs.Bytes)
+	}
+	if _, ok := sys.GatewayStats("a0"); ok {
+		t.Error("GatewayStats(a0) ok for a non-gateway node")
 	}
 	if gws := sys.Gateways(); len(gws) != 1 || gws[0] != "gw" {
 		t.Errorf("gateways = %v", gws)
@@ -94,9 +100,9 @@ func TestSystemOptions(t *testing.T) {
 	if len(tr.Spans()) == 0 {
 		t.Error("tracer recorded nothing")
 	}
-	_, _, bytes := sys.GatewayStats("gw")
-	if bytes != 64*1024 {
-		t.Errorf("gateway bytes = %d", bytes)
+	gs, _ := sys.GatewayStats("gw")
+	if gs.Bytes != 64*1024 {
+		t.Errorf("gateway bytes = %d", gs.Bytes)
 	}
 }
 
@@ -153,14 +159,14 @@ func TestDeadlockSurfacesAsError(t *testing.T) {
 
 func TestExperimentsExposed(t *testing.T) {
 	exps := madeleine.Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"fig6", "fig7", "t1", "headline"} {
+	for _, want := range []string{"fig6", "fig7", "t1", "headline", "r1"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}

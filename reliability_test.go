@@ -1,0 +1,186 @@
+package madeleine_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	madeleine "madgo"
+)
+
+// faultyConfig embeds a fault schedule in the topology text: reliable
+// delivery switches on automatically and the injected loss must be invisible
+// to the application.
+const faultyConfig = `
+network sci0 sci
+network myri0 myrinet
+node a0 sci0
+node a1 sci0
+node gw sci0 myri0
+node b0 myri0
+node b1 myri0
+fault seed 42
+fault drop * 0.05
+`
+
+func TestSystemFaultDSL(t *testing.T) {
+	sys, err := madeleine.NewSystem(faultyConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 200_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got []byte
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("a0").BeginPacking(p, "b1")
+		px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		u := sys.At("b1").BeginUnpacking(p)
+		got = make([]byte, len(payload))
+		u.Unpack(p, got, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted under 5% loss")
+	}
+	if ds := sys.DeliveryStats(); ds.Retransmits == 0 {
+		t.Error("5% loss run saw zero retransmissions")
+	}
+}
+
+// TestSystemLossAndMidTransferCrash is the issue's acceptance scenario: an
+// 8 MB SCI->Myrinet transfer under seeded 5% packet loss whose only
+// high-speed gateway crashes mid-transfer. Reliable delivery must complete
+// the transfer byte-exact by retransmitting and failing over to the
+// Ethernet control network, and the recovery must be visible in the trace.
+func TestSystemLossAndMidTransferCrash(t *testing.T) {
+	plan := madeleine.NewFaultPlan(9).
+		Drop("*", 0.05).
+		Crash("gw", madeleine.Time(30*madeleine.Millisecond), 0)
+	tr := madeleine.NewTracer()
+	sys, err := madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
+		madeleine.WithRouteNetworks("sci0", "myri0"),
+		madeleine.WithFaults(plan),
+		madeleine.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 8<<20)
+	for i := range payload {
+		payload[i] = byte(i*13 + 5)
+	}
+	var got []byte
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("a1").BeginPacking(p, "b1")
+		px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		u := sys.At("b1").BeginUnpacking(p)
+		got = make([]byte, len(payload))
+		u.Unpack(p, got, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("8 MB transfer not byte-exact across loss and crash")
+	}
+	ds := sys.DeliveryStats()
+	if ds.Retransmits == 0 {
+		t.Error("no retransmissions under 5% loss")
+	}
+	if ds.Failovers == 0 {
+		t.Error("gateway crash caused no failover")
+	}
+	ops := make(map[string]bool)
+	for _, s := range tr.Spans() {
+		ops[s.Op] = true
+	}
+	if !ops["crash"] {
+		t.Error("trace has no crash span")
+	}
+	if !ops["failover"] {
+		t.Error("trace has no failover span")
+	}
+	// The madtrace-style timeline must show the recovery marks.
+	tl := tr.Timeline(0, sys.Now(), 160)
+	if !strings.Contains(tl, "C") {
+		t.Error("timeline missing crash mark")
+	}
+	if !strings.Contains(tl, "F") {
+		t.Error("timeline missing failover mark")
+	}
+}
+
+// TestSystemReliableUnreachable checks that a partition surfaces a typed
+// DeliveryError from Run instead of a deadlock.
+func TestSystemReliableUnreachable(t *testing.T) {
+	plan := madeleine.NewFaultPlan(1).Crash("gw", 0, 0)
+	sys, err := madeleine.NewSystem(demoConfig, madeleine.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("a0").BeginPacking(p, "b0")
+		px.Pack(p, make([]byte, 10_000), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	err = sys.Run()
+	var de *madeleine.DeliveryError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run() = %v, want a *DeliveryError", err)
+	}
+	if de.From != "a0" || de.To != "b0" {
+		t.Errorf("DeliveryError names %s -> %s, want a0 -> b0", de.From, de.To)
+	}
+}
+
+// TestSystemRetryPolicyOption checks that WithRetryPolicy alone switches the
+// system to reliable mode.
+func TestSystemRetryPolicyOption(t *testing.T) {
+	rp := madeleine.DefaultRetryPolicy()
+	rp.PacketRetries = 2
+	sys, err := madeleine.NewSystem(demoConfig, madeleine.WithRetryPolicy(rp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 50_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var got []byte
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("a0").BeginPacking(p, "b1")
+		px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		u := sys.At("b1").BeginUnpacking(p)
+		got = make([]byte, len(payload))
+		u.Unpack(p, got, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted")
+	}
+	gs, ok := sys.GatewayStats("gw")
+	if !ok || gs.Messages != 1 {
+		t.Errorf("gateway stats = %+v ok=%v, want one relayed message", gs, ok)
+	}
+	if gs.Retransmits != 0 || gs.Failovers != 0 {
+		t.Errorf("fault-free run recovered: %+v", gs)
+	}
+}
