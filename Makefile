@@ -1,8 +1,9 @@
 GO ?= go
+COVER_MIN ?= 85
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench cover
 
-check: build vet race
+check: build vet race cover
 
 build:
 	$(GO) build ./...
@@ -18,3 +19,14 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem
+	$(GO) run ./cmd/madbench -json o1 > BENCH_o1.json
+
+# cover gates the observability packages: the metrics registry and the
+# tracer are the measurement substrate every perf claim rests on, so their
+# statement coverage must stay above COVER_MIN percent.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/obs ./internal/trace
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
+		   printf "obs+trace coverage: %s%% (gate: %s%%)\n", cov, min; \
+		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'

@@ -27,9 +27,10 @@ func main() {
 		quick = flag.Bool("quick", false, "trimmed sweeps (fast)")
 		csv   = flag.Bool("csv", false, "CSV output instead of tables")
 		plot  = flag.Bool("plot", false, "ASCII charts instead of tables")
+		jsonF = flag.Bool("json", false, "JSON output instead of tables")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: madbench [-list] [-all] [-quick] [-csv] [-plot] [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "usage: madbench [-list] [-all] [-quick] [-csv] [-plot] [-json] [experiment ids...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,6 +58,12 @@ func main() {
 		}
 		r := e.Run(opts)
 		switch {
+		case *jsonF:
+			if err := bench.WriteJSON(os.Stdout, r); err != nil {
+				fmt.Fprintln(os.Stderr, "madbench:", err)
+				os.Exit(1)
+			}
+			continue
 		case *csv:
 			bench.WriteCSV(os.Stdout, r)
 		case *plot:

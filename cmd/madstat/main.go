@@ -1,0 +1,137 @@
+// Command madstat runs one transfer over a cluster-of-clusters topology with
+// the full observability layer armed and dumps what it recorded: a
+// Prometheus-style metrics snapshot, the per-lane pipeline-bubble report,
+// per-message provenance traces, and optionally a Chrome trace_event JSON
+// file loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Usage:
+//
+//	madstat                          # paper testbed, a1 -> b1, metrics snapshot
+//	madstat -lanes -trace all        # add the lane report and all hop traces
+//	madstat -loss 0.1 -seed 7        # reliable delivery under 10% packet loss
+//	madstat -chrome run.json         # write a Perfetto-loadable trace file
+//	madstat -config cluster.topo -from x -to y -bytes 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	madeleine "madgo"
+)
+
+func main() {
+	var (
+		config = flag.String("config", "", "topology file (default: the paper testbed)")
+		from   = flag.String("from", "a1", "source node")
+		to     = flag.String("to", "b1", "destination node")
+		bytes  = flag.Int("bytes", 256*1024, "message size")
+		mtu    = flag.Int("mtu", 32*1024, "forwarding packet size")
+
+		seed    = flag.Int64("seed", 1, "fault-injection seed")
+		loss    = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
+		corrupt = flag.Float64("corrupt", 0, "packet corruption probability (switches on reliable delivery)")
+		crash   = flag.Duration("crash", 0, "crash the gateway 'gw' at this virtual time (0 = never)")
+
+		lanes  = flag.Bool("lanes", false, "print the pipeline-bubble lane report")
+		msgs   = flag.String("trace", "", `print message provenance: "all" or a message ID`)
+		chrome = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
+		noProm = flag.Bool("noprom", false, "suppress the Prometheus snapshot")
+	)
+	flag.Parse()
+
+	tr := madeleine.NewTracer()
+	m := madeleine.NewMetrics()
+	opts := []madeleine.Option{
+		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr), madeleine.WithMetrics(m),
+	}
+	if *loss > 0 || *corrupt > 0 || *crash > 0 {
+		plan := madeleine.NewFaultPlan(*seed)
+		if *loss > 0 {
+			plan.Drop("*", *loss)
+		}
+		if *corrupt > 0 {
+			plan.Corrupt("*", *corrupt)
+		}
+		if *crash > 0 {
+			plan.Crash("gw", madeleine.Time(crash.Nanoseconds()), 0)
+		}
+		opts = append(opts, madeleine.WithFaults(plan))
+	}
+
+	var sys *madeleine.System
+	var err error
+	if *config == "" {
+		sys, err = madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
+			append(opts, madeleine.WithRouteNetworks("sci0", "myri0"))...)
+	} else {
+		text, rerr := os.ReadFile(*config)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		sys, err = madeleine.NewSystem(string(text), opts...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	n := *bytes
+	sys.Spawn("stream", func(p *madeleine.Proc) {
+		px := sys.At(*from).BeginPacking(p, *to)
+		px.Pack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("drain", func(p *madeleine.Proc) {
+		u := sys.At(*to).BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	if err := sys.Run(); err != nil {
+		fatal(err)
+	}
+
+	if !*noProm {
+		sys.WritePrometheus(os.Stdout)
+	}
+	if *lanes {
+		fmt.Printf("\npipeline lanes over [0, %v):\n", madeleine.Duration(sys.Now()))
+		madeleine.WriteLaneReport(os.Stdout, sys.Lanes(0, sys.Now()))
+	}
+	if *msgs != "" {
+		ids := sys.Metrics().Messages()
+		if *msgs != "all" {
+			id, err := strconv.ParseUint(*msgs, 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -trace %q (want \"all\" or a message ID)", *msgs))
+			}
+			ids = []uint64{id}
+		}
+		for _, id := range ids {
+			hops := sys.MessageTrace(id)
+			fmt.Printf("\nmessage %d (%d events):\n", id, len(hops))
+			for _, h := range hops {
+				fmt.Println("  " + h.String())
+			}
+		}
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "madstat: wrote %s (load it at ui.perfetto.dev)\n", *chrome)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "madstat:", err)
+	os.Exit(1)
+}

@@ -8,9 +8,12 @@
 //	madtrace -mtu 16384 -bytes 262144 -spans
 //	madtrace -loss 0.05 -seed 42  # reliable delivery under 5% packet loss
 //	madtrace -crash 2ms           # the gateway dies mid-transfer
+//	madtrace -json                # machine-readable run summary on stdout
+//	madtrace -chrome run.json     # Perfetto-loadable trace_event file
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,9 @@ func main() {
 		bytes = flag.Int("bytes", 256*1024, "message size")
 		cols  = flag.Int("cols", 100, "timeline width in columns")
 		spans = flag.Bool("spans", false, "also list raw spans")
+
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON run summary instead of the timeline")
+		chromeOut = flag.String("chrome", "", "write Chrome trace_event JSON (Perfetto-loadable) to this file")
 
 		seed    = flag.Int64("seed", 1, "fault-injection seed")
 		loss    = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
@@ -45,8 +51,9 @@ func main() {
 	}
 
 	tr := madeleine.NewTracer()
+	m := madeleine.NewMetrics()
 	opts := []madeleine.Option{
-		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr),
+		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr), madeleine.WithMetrics(m),
 		madeleine.WithRouteNetworks("sci0", "myri0"),
 	}
 	if *loss > 0 || *corrupt > 0 || *crash > 0 {
@@ -86,14 +93,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "madtrace:", err)
+			os.Exit(1)
+		}
+		if err := sys.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "madtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "madtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "madtrace: wrote %s (load it at ui.perfetto.dev)\n", *chromeOut)
+	}
+
+	if *jsonOut {
+		emitJSON(sys, m, src, dst, n, *mtu, done)
+		return
+	}
+
 	fmt.Printf("%s -> %s, %d bytes in %d-byte packets, one-way %v (%.1f MB/s)\n\n",
 		src, dst, n, *mtu, madeleine.Duration(done),
 		float64(n)/(float64(done)/1e9)/1e6)
 	fmt.Println(tr.Timeline(0, done, *cols))
-	fmt.Println("r = receive step, s = send step, x = buffer switch overhead")
 	if ds := sys.DeliveryStats(); ds != (madeleine.DeliveryStats{}) {
-		fmt.Println("R = retransmit, M = message resend, F = failover, e = e2e ack")
-		fmt.Println("d = drop, c = corruption discard, D = duplicate, C = crash, ~ = link flap")
 		fmt.Printf("recovery: %d retransmits, %d message resends, %d failovers, %d checksum drops, %d duplicates\n",
 			ds.Retransmits, ds.MessageResends, ds.Failovers, ds.ChecksumDrops, ds.Duplicates)
 	}
@@ -102,5 +128,54 @@ func main() {
 		for _, s := range tr.Spans() {
 			fmt.Println(s)
 		}
+	}
+}
+
+// emitJSON prints the run as one JSON document: transfer summary, recovery
+// counters and the provenance of every traced message.
+func emitJSON(sys *madeleine.System, m *madeleine.Metrics, src, dst string, n, mtu int, done madeleine.Time) {
+	type hop struct {
+		At     int64  `json:"at_ns"`
+		Node   string `json:"node"`
+		Op     string `json:"op"`
+		Detail string `json:"detail"`
+		Bytes  int    `json:"bytes"`
+	}
+	type msg struct {
+		ID   uint64 `json:"id"`
+		Hops []hop  `json:"hops"`
+	}
+	out := struct {
+		Src       string                  `json:"src"`
+		Dst       string                  `json:"dst"`
+		Bytes     int                     `json:"bytes"`
+		MTU       int                     `json:"mtu"`
+		OneWayNS  int64                   `json:"one_way_ns"`
+		MBps      float64                 `json:"mb_per_s"`
+		Delivery  madeleine.DeliveryStats `json:"delivery"`
+		Messages  []msg                   `json:"messages"`
+		LaneCount int                     `json:"lanes"`
+	}{
+		Src: src, Dst: dst, Bytes: n, MTU: mtu,
+		OneWayNS: int64(done),
+		MBps:     float64(n) / (float64(done) / 1e9) / 1e6,
+		Delivery: sys.DeliveryStats(),
+		Messages: []msg{},
+	}
+	for _, id := range m.Messages() {
+		mm := msg{ID: id}
+		for _, h := range sys.MessageTrace(id) {
+			mm.Hops = append(mm.Hops, hop{
+				At: int64(h.At), Node: h.Node, Op: h.Op, Detail: h.Detail, Bytes: h.Bytes,
+			})
+		}
+		out.Messages = append(out.Messages, mm)
+	}
+	out.LaneCount = len(sys.Lanes(0, done))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "madtrace:", err)
+		os.Exit(1)
 	}
 }

@@ -73,6 +73,6 @@ func main() {
 	ds := sys.DeliveryStats()
 	fmt.Printf("total recovery: %d retransmits, %d failovers, %d duplicates suppressed\n",
 		ds.Retransmits, ds.Failovers, ds.Duplicates)
-	fmt.Println("\nrecovery timeline (C crash, d drop, R retransmit, F failover, D duplicate):")
+	fmt.Println("\nrecovery timeline:")
 	fmt.Println(tr.Timeline(0, sys.Now(), 100))
 }

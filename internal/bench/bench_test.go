@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 var quick = Options{Quick: true}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "r1"}
+	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "o1", "r1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry = %v", ids)
@@ -222,7 +223,9 @@ func TestA5ZeroCopyElection(t *testing.T) {
 	if !(zc > cp) {
 		t.Errorf("election (%.1f) not faster than copy-always (%.1f)", zc, cp)
 	}
-	if r.Table[0][2] != "0" && r.Table[0][2] != "12" {
+	// A zero-copy gateway may still stage the GTM header (20 bytes), but
+	// never payload.
+	if r.Table[0][2] != "0" && r.Table[0][2] != "20" {
 		t.Errorf("zero-copy gateway copied %s bytes", r.Table[0][2])
 	}
 }
@@ -348,5 +351,44 @@ func TestReliableBenchFaultFree(t *testing.T) {
 		if strings.HasPrefix(note, "WARNING") {
 			t.Errorf("r1 flagged recovery on a fault-free run: %s", note)
 		}
+	}
+}
+
+// TestO1SwapOverheadFromHistogram pins the observability reproduction of
+// §3.4.1: the gateway swap histogram's quantiles must report the CPU
+// model's per-switch overhead (40 µs) exactly — the histogram interpolation
+// may not smear a constant series.
+func TestO1SwapOverheadFromHistogram(t *testing.T) {
+	r := mustRun(t, "o1", quick)
+	vals := map[string]string{}
+	for _, row := range r.Table {
+		vals[row[0]] = row[1]
+	}
+	if vals["swap overhead p50"] != "40.0µs" {
+		t.Errorf("p50 = %s, want 40.0µs", vals["swap overhead p50"])
+	}
+	if vals["swap overhead p99"] != "40.0µs" {
+		t.Errorf("p99 = %s, want 40.0µs", vals["swap overhead p99"])
+	}
+	var n float64
+	if _, err := sscanf(vals["buffer switches observed"], &n); err != nil || n == 0 {
+		t.Errorf("observations = %q, want > 0", vals["buffer switches observed"])
+	}
+}
+
+// TestWriteJSONRoundTrips checks the machine-readable bench output `make
+// bench` archives.
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := mustRun(t, "o1", quick)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("bench JSON does not round-trip: %v", err)
+	}
+	if back.ID != "o1" || len(back.Table) != len(r.Table) {
+		t.Errorf("round-tripped result = %+v", back)
 	}
 }

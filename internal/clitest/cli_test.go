@@ -4,6 +4,7 @@
 package clitest_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -151,5 +152,86 @@ func TestMadpingRejectsBadSizes(t *testing.T) {
 	cmd := exec.Command(filepath.Join(binDir, "madping"), "-sizes", "zero")
 	if out, err := cmd.CombinedOutput(); err == nil {
 		t.Fatalf("bad sizes accepted:\n%s", out)
+	}
+}
+
+func TestMadtraceJSON(t *testing.T) {
+	out := run(t, "madtrace", "-bytes", "131072", "-json")
+	var doc struct {
+		Src      string `json:"src"`
+		Dst      string `json:"dst"`
+		OneWayNS int64  `json:"one_way_ns"`
+		Messages []struct {
+			ID   uint64 `json:"id"`
+			Hops []struct {
+				Op string `json:"op"`
+			} `json:"hops"`
+		} `json:"messages"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Src != "a1" || doc.Dst != "b1" || doc.OneWayNS <= 0 {
+		t.Errorf("summary = %+v", doc)
+	}
+	if len(doc.Messages) != 1 || len(doc.Messages[0].Hops) == 0 {
+		t.Errorf("messages = %+v, want one with hops", doc.Messages)
+	}
+}
+
+func TestMadtraceChromeExport(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "trace.json")
+	run(t, "madtrace", "-bytes", "131072", "-chrome", file)
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome file is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome file has no events")
+	}
+}
+
+func TestMadstatSnapshotLanesAndTrace(t *testing.T) {
+	out := run(t, "madstat", "-bytes", "65536", "-lanes", "-trace", "all")
+	for _, want := range []string{
+		"# madgo metrics snapshot",
+		"madgo_gateway_swap_seconds",
+		`quantile="0.99"`,
+		"pipeline lanes over",
+		"gw:recv:sci0",
+		"message 1",
+		"deliver",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("madstat output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMadstatLossyRun(t *testing.T) {
+	out := run(t, "madstat", "-bytes", "65536", "-loss", "0.1", "-seed", "7", "-noprom", "-trace", "all")
+	if !strings.Contains(out, "rexmit") && !strings.Contains(out, "resend") {
+		t.Errorf("lossy madstat trace shows no recovery:\n%s", out)
+	}
+	if !strings.Contains(out, "e2e") {
+		t.Errorf("lossy madstat trace has no end-to-end ack:\n%s", out)
+	}
+}
+
+func TestMadstatChromeExport(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "run.json")
+	run(t, "madstat", "-bytes", "65536", "-noprom", "-chrome", file)
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("madstat -chrome wrote invalid JSON")
 	}
 }

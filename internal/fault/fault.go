@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"madgo/internal/obs"
 	"madgo/internal/trace"
 	"madgo/internal/vtime"
 )
@@ -201,9 +202,10 @@ const (
 // single-threaded, so the injector needs no locking; determinism holds
 // because queries happen in scheduler order, which the seeded kernel fixes.
 type Injector struct {
-	plan *Plan
-	rng  prng
-	tr   *trace.Tracer
+	plan    *Plan
+	rng     prng
+	tr      *trace.Tracer
+	metrics *obs.Registry
 
 	dropped   int64
 	corrupted int64
@@ -218,6 +220,10 @@ func NewInjector(p *Plan, tr *trace.Tracer) *Injector {
 
 // Tracer returns the tracer the injector records to (may be nil).
 func (in *Injector) Tracer() *trace.Tracer { return in.tr }
+
+// SetMetrics arms a metrics registry: every injected fault increments a
+// madgo_faults_total{kind,net} counter. A nil registry records nothing.
+func (in *Injector) SetMetrics(m *obs.Registry) { in.metrics = m }
 
 // Dropped returns how many packets the injector lost (including blackholed
 // ones during crash and flap windows).
@@ -268,16 +274,19 @@ func (in *Injector) Packet(net, from, to string, now vtime.Time, size int) (Verd
 	if in.NodeDead(from, now) || in.NodeDead(to, now) || in.LinkDown(net, now) {
 		in.dropped++
 		in.tr.Record("fault:"+net, "drop", size, now, now)
+		in.metrics.Add("madgo_faults_total", obs.Labels{"kind": "blackhole", "net": net}, 1)
 		return DropPacket, 0
 	}
 	if p := in.prob(Drop, net); p > 0 && in.rng.float() < p {
 		in.dropped++
 		in.tr.Record("fault:"+net, "drop", size, now, now)
+		in.metrics.Add("madgo_faults_total", obs.Labels{"kind": "drop", "net": net}, 1)
 		return DropPacket, 0
 	}
 	if p := in.prob(Corrupt, net); p > 0 && in.rng.float() < p {
 		in.corrupted++
 		in.tr.Record("fault:"+net, "corrupt", size, now, now)
+		in.metrics.Add("madgo_faults_total", obs.Labels{"kind": "corrupt", "net": net}, 1)
 		return CorruptPacket, in.rng.intn(size)
 	}
 	return Deliver, 0

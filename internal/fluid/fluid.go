@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"madgo/internal/obs"
 	"madgo/internal/vtime"
 )
 
@@ -137,6 +138,10 @@ type Engine struct {
 	nextID   uint64
 	flows    []*Flow
 	timerGen uint64
+
+	// Metrics, when non-nil, receives flow lifecycle counters and the
+	// active-flow gauge (a nil registry records nothing).
+	Metrics *obs.Registry
 }
 
 // NewEngine creates a fluid engine bound to the simulation clock.
@@ -238,6 +243,7 @@ func (e *Engine) start(spec Spec) *Flow {
 	for _, h := range f.route {
 		h.R.flows = append(h.R.flows, Presence{Flow: f, Class: h.Class})
 	}
+	e.Metrics.Add("madgo_flows_started_total", obs.Labels{"class": spec.Class.String()}, 1)
 	e.reallocate()
 	return f
 }
@@ -288,11 +294,16 @@ func (e *Engine) reallocate() {
 
 	e.computeRates()
 	e.scheduleNextCompletion()
+	e.Metrics.Set("madgo_active_flows", nil, float64(len(e.flows)))
 
 	// Wake finishers after the new schedule is in place.
 	for _, f := range done {
 		f.remaining = 0
 		f.rate = 0
+		e.Metrics.Add("madgo_flows_completed_total", obs.Labels{"class": f.class.String()}, 1)
+		e.Metrics.Add("madgo_flow_bytes_total", obs.Labels{"class": f.class.String()}, f.total)
+		e.Metrics.ObserveDuration("madgo_flow_seconds", obs.Labels{"class": f.class.String()},
+			vtime.Since(e.sim.Now(), f.started))
 		if f.waker != nil {
 			f.waker.Wake()
 			f.waker = nil
@@ -471,6 +482,8 @@ func (e *Engine) CancelOn(r *Resource) int {
 	}
 	e.computeRates()
 	e.scheduleNextCompletion()
+	e.Metrics.Set("madgo_active_flows", nil, float64(len(e.flows)))
+	e.Metrics.Add("madgo_flows_canceled_total", nil, float64(len(doomed)))
 	for _, f := range doomed {
 		if f.waker != nil {
 			f.waker.Wake()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"madgo/internal/mad"
+	"madgo/internal/obs"
 	"madgo/internal/vtime"
 	"madgo/internal/vtime/vsync"
 )
@@ -130,12 +131,14 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	if !meta.SOM || meta.Kind != mad.KindGTM || len(meta.Blocks) != 1 {
 		panic("fwd: malformed GTM header at gateway " + g.name)
 	}
-	_, dstRank, mtu := decodeGTMHeader(hdr)
+	_, dstRank, mtu, msgID := decodeGTMHeader(hdr)
 	dstName := vc.sess.Node(dstRank).Name
 	hop, ok := vc.tbl.NextHop(g.name, dstName)
 	if !ok {
 		panic(fmt.Sprintf("fwd: gateway %s has no route to %s", g.name, dstName))
 	}
+	vc.metrics().RecordHop(msgID, p.Now(), g.name, "relay",
+		fmt.Sprintf("%s -> %s via %s", in.Channel.Network().Name, hop.To, hop.Network), 0)
 	var outCh *mad.Channel
 	if hop.To == dstName {
 		outCh = vc.regular[hop.Network]
@@ -180,6 +183,8 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 	vc := g.vc
 	cfg := vc.cfg
 	tr := cfg.Tracer
+	m := vc.metrics()
+	gwLabels := obs.Labels{"gateway": g.name}
 	host := g.node.Host
 	inNet := in.Channel.Network().Name
 	outNet := out.Channel.Network().Name
@@ -216,6 +221,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 			t0 = sp.Now()
 			sp.Sleep(host.CPU.SwapOverhead)
 			tr.Record(sendActor, "swap", 0, t0, sp.Now())
+			m.ObserveDuration("madgo_gateway_swap_seconds", gwLabels, vtime.Since(sp.Now(), t0))
 			if !slotMode {
 				free.Send(sp, pkt.buf)
 			} else {
@@ -270,9 +276,12 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 			tr.Record(recvActor, "recv", len(pkt.data), t0, p.Now())
 			g.packets++
 			g.bytes += int64(len(pkt.data))
+			m.Add("madgo_gateway_relayed_packets_total", gwLabels, 1)
+			m.Add("madgo_gateway_relayed_bytes_total", gwLabels, float64(len(pkt.data)))
 			t0 = p.Now()
 			p.Sleep(host.CPU.SwapOverhead)
 			tr.Record(recvActor, "swap", 0, t0, p.Now())
+			m.ObserveDuration("madgo_gateway_swap_seconds", gwLabels, vtime.Since(p.Now(), t0))
 		}
 		full.Send(p, pkt)
 		if pkt.eom {

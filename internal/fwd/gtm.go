@@ -29,27 +29,31 @@ import (
 )
 
 // gtmHeaderLen is the wire size of the GTM message header: source rank,
-// destination rank and connection MTU, each 32 bits (§2.3: "the sender
-// sends the rank of the destination node, and the MTU used for this
-// connexion"; we additionally carry the source rank so the final receiver
-// learns the message origin, which a regular message reads off its link).
-const gtmHeaderLen = 12
+// destination rank and connection MTU, each 32 bits, plus a 64-bit message
+// ID (§2.3: "the sender sends the rank of the destination node, and the MTU
+// used for this connexion"; we additionally carry the source rank so the
+// final receiver learns the message origin, which a regular message reads
+// off its link, and the pack-time message ID so every gateway on the path
+// can attribute its relay work to the message's provenance trace).
+const gtmHeaderLen = 20
 
-func encodeGTMHeader(src, dst mad.Rank, mtu int) []byte {
+func encodeGTMHeader(src, dst mad.Rank, mtu int, id uint64) []byte {
 	hdr := make([]byte, gtmHeaderLen)
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(src))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(dst))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(mtu))
+	binary.LittleEndian.PutUint64(hdr[12:], id)
 	return hdr
 }
 
-func decodeGTMHeader(hdr []byte) (src, dst mad.Rank, mtu int) {
+func decodeGTMHeader(hdr []byte) (src, dst mad.Rank, mtu int, id uint64) {
 	if len(hdr) != gtmHeaderLen {
 		panic(fmt.Sprintf("fwd: GTM header of %d bytes", len(hdr)))
 	}
 	return mad.Rank(binary.LittleEndian.Uint32(hdr[0:])),
 		mad.Rank(binary.LittleEndian.Uint32(hdr[4:])),
-		int(binary.LittleEndian.Uint32(hdr[8:]))
+		int(binary.LittleEndian.Uint32(hdr[8:])),
+		binary.LittleEndian.Uint64(hdr[12:])
 }
 
 var gtmHeaderDesc = []mad.BlockDesc{{Size: gtmHeaderLen, S: mad.SendCheaper, R: mad.ReceiveExpress}}
@@ -63,13 +67,14 @@ type gtmPacking struct {
 	node *mad.Node
 	link *mad.Link
 	mtu  int
+	id   uint64
 }
 
 func newGTMPacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, link *mad.Link, finalDst mad.Rank) *gtmPacking {
-	g := &gtmPacking{vc: vc, node: node, link: link, mtu: vc.cfg.MTU}
+	g := &gtmPacking{vc: vc, node: node, link: link, mtu: vc.cfg.MTU, id: vc.nextMsgID()}
 	link.Acquire(p)
 	link.Send(p, mad.TxMeta{SOM: true, Kind: mad.KindGTM, Blocks: gtmHeaderDesc},
-		encodeGTMHeader(node.Rank, finalDst, g.mtu))
+		encodeGTMHeader(node.Rank, finalDst, g.mtu, g.id))
 	return g
 }
 
@@ -80,11 +85,14 @@ func (g *gtmPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.Recv
 		g.node.Host.Memcpy(p, len(data))
 		data = append([]byte(nil), data...)
 	}
+	net := g.link.Channel.Network().Name
 	mad.ForEachFragment(len(data), g.mtu, func(off, n int) {
 		g.link.Send(p, mad.TxMeta{
 			Kind:   mad.KindGTM,
 			Blocks: []mad.BlockDesc{{Size: n, S: s, R: r}},
 		}, data[off:off+n])
+		g.vc.metrics().RecordHop(g.id, p.Now(), g.node.Name, "hop",
+			fmt.Sprintf("%s -> %s via %s", g.node.Name, g.link.Dst.Name, net), n)
 	})
 }
 
@@ -104,6 +112,8 @@ type gtmUnpacking struct {
 	link *mad.Link
 	mtu  int
 	from mad.Rank
+	id   uint64
+	got  int
 }
 
 func newGTMUnpacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, a *mad.Arrival) *gtmUnpacking {
@@ -114,11 +124,11 @@ func newGTMUnpacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, a *mad.A
 	if !meta.SOM || meta.Kind != mad.KindGTM {
 		panic("fwd: GTM unpacking of a message without a GTM header")
 	}
-	src, dst, mtu := decodeGTMHeader(hdr)
+	src, dst, mtu, id := decodeGTMHeader(hdr)
 	if dst != node.Rank {
 		panic(fmt.Sprintf("fwd: misrouted message: %s received a message for rank %d", node.Name, dst))
 	}
-	return &gtmUnpacking{vc: vc, node: node, link: link, mtu: mtu, from: src}
+	return &gtmUnpacking{vc: vc, node: node, link: link, mtu: mtu, from: src, id: id}
 }
 
 func (g *gtmUnpacking) unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.RecvMode) {
@@ -134,6 +144,7 @@ func (g *gtmUnpacking) unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.R
 		if d.S != s || d.R != r || d.Size != n || got != n {
 			panic(fmt.Sprintf("fwd: protocol error: packed %v, unpacked {%dB %v %v}", d, n, s, r))
 		}
+		g.got += got
 	})
 }
 
@@ -143,4 +154,6 @@ func (g *gtmUnpacking) end(p *vtime.Proc) {
 		panic("fwd: protocol error: expected GTM message terminator")
 	}
 	g.link.ReleaseRecv(p)
+	g.vc.metrics().RecordHop(g.id, p.Now(), g.node.Name, "deliver",
+		"reassembled at "+g.node.Name, g.got)
 }

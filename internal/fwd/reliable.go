@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"madgo/internal/mad"
+	"madgo/internal/obs"
 	"madgo/internal/route"
 	"madgo/internal/topo"
 	"madgo/internal/vtime"
@@ -350,9 +351,8 @@ type relEngine struct {
 	node *mad.Node
 	pol  RetryPolicy
 
-	nextMsg uint64
-	dead    map[string]vtime.Time   // presumed-dead node -> reprobe time
-	tables  map[string]*route.Table // cached per (topology, dead-set) tables
+	dead   map[string]vtime.Time   // presumed-dead node -> reprobe time
+	tables map[string]*route.Table // cached per (topology, dead-set) tables
 
 	acks map[relAckKey]*relAwait
 	e2e  map[relMsgKey]*relAwait
@@ -379,6 +379,30 @@ func (e *relEngine) trace(op string, bytes int, at vtime.Time) {
 	e.vc.cfg.Tracer.Record("rel:"+e.node.Name, op, bytes, at, at)
 }
 
+func (e *relEngine) metrics() *obs.Registry { return e.vc.sess.Platform.Metrics }
+
+// hop appends one provenance event for message id at this node.
+func (e *relEngine) hop(id uint64, at vtime.Time, op, detail string, bytes int) {
+	e.metrics().RecordHop(id, at, e.node.Name, op, detail, bytes)
+}
+
+// count bumps a per-node reliability counter (pre-registered at zero by
+// buildReliable so the series appear in snapshots even on clean runs).
+func (e *relEngine) count(name string) {
+	e.metrics().Add(name, obs.Labels{"node": e.node.Name}, 1)
+}
+
+// relCounterNames are the per-node reliability counters, pre-registered so a
+// snapshot of a clean run still shows the series at zero.
+var relCounterNames = []string{
+	"madgo_retransmits_total",
+	"madgo_failovers_total",
+	"madgo_message_resends_total",
+	"madgo_duplicates_total",
+	"madgo_checksum_drops_total",
+	"madgo_relay_drops_total",
+}
+
 // buildReliable wires the reliable delivery machinery: one engine per node,
 // one polling daemon per (node, network), and per-node relay and control
 // daemons. Gateway stat objects are created for the primary topology's
@@ -403,6 +427,9 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 			ctlQ:   vsync.NewChan[ctlItem]("ctlq:"+n.Name, 4096),
 		}
 		vc.rel[n.Name] = e
+		for _, name := range relCounterNames {
+			vc.metrics().Add(name, obs.Labels{"node": n.Name}, 0)
+		}
 		for _, nwName := range n.Networks {
 			ep := vc.regular[nwName].At(node)
 			sim.SpawnDaemon(fmt.Sprintf("relpoll:%s:%s", n.Name, nwName), func(p *vtime.Proc) {
@@ -422,14 +449,13 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 	}
 }
 
-// sendMessage fragments, encodes and reliably delivers one message, blocking
-// until the final destination's end-to-end acknowledgement arrives. It runs
-// in the application's process (called from EndPacking).
-func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock) {
+// sendMessage fragments, encodes and reliably delivers one message under its
+// pack-time ID, blocking until the final destination's end-to-end
+// acknowledgement arrives. It runs in the application's process (called from
+// EndPacking).
+func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id uint64) {
 	pol := e.pol
 	mtu := e.vc.cfg.MTU
-	id := e.nextMsg
-	e.nextMsg++
 
 	payloads := [][]byte{encodeRelDesc(mtu, blocks)}
 	for _, b := range blocks {
@@ -451,6 +477,8 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock) {
 		if attempt > 0 {
 			e.msgResends++
 			e.trace("resend", 0, p.Now())
+			e.count("madgo_message_resends_total")
+			e.hop(id, p.Now(), "resend", fmt.Sprintf("attempt %d -> %s", attempt+1, dst), 0)
 		}
 		aw := &relAwait{}
 		e.e2e[mkey] = aw
@@ -516,6 +544,7 @@ func (e *relEngine) forwardPacket(p *vtime.Proc, finalDst string, pkt []byte, ke
 			return true
 		}
 		e.markDead(hop.To, p.Now())
+		e.hop(key.id, p.Now(), "failover", "presumed dead: "+hop.To, 0)
 	}
 	return false
 }
@@ -529,17 +558,26 @@ func (e *relEngine) deliverHop(p *vtime.Proc, hop route.Hop, pkt []byte, key rel
 	if key.frag == e2eFrag {
 		kind = mad.KindRelE2E
 	}
+	det := fmt.Sprintf("frag %d -> %s via %s", key.frag, hop.To, hop.Network)
+	if key.frag == e2eFrag {
+		det = fmt.Sprintf("e2e-ack -> %s via %s", hop.To, hop.Network)
+	}
 	to := e.pol.AckTimeout
 	for try := 0; try <= e.pol.PacketRetries; try++ {
 		if try > 0 {
 			e.retransmits++
 			e.trace("rexmit", len(pkt), p.Now())
+			e.count("madgo_retransmits_total")
+			e.hop(key.id, p.Now(), "rexmit", det, len(pkt))
 		}
 		aw := &relAwait{}
 		e.acks[key] = aw
 		link.Acquire(p)
 		link.Send(p, relMeta(kind, len(pkt)), pkt)
 		link.Release(p)
+		if try == 0 {
+			e.hop(key.id, p.Now(), "hop", det, len(pkt))
+		}
 		ok := e.await(p, aw, to, "rel ack "+hop.To)
 		if e.acks[key] == aw {
 			delete(e.acks, key)
@@ -644,6 +682,7 @@ func (e *relEngine) currentDead(now vtime.Time) (map[string]bool, string) {
 func (e *relEngine) markDead(name string, now vtime.Time) {
 	e.failovers++
 	e.trace("failover", 0, now)
+	e.count("madgo_failovers_total")
 	exp := vtime.Time(math.MaxInt64)
 	if e.pol.ReprobeAfter > 0 {
 		exp = now.Add(e.pol.ReprobeAfter)
@@ -674,11 +713,13 @@ func (e *relEngine) handleData(p *vtime.Proc, in *mad.Link, pkt []byte) {
 	if !ok {
 		e.checksumDrops++
 		e.trace("corrupt-drop", len(pkt), p.Now())
+		e.count("madgo_checksum_drops_total")
 		return // no ack: the sender retransmits
 	}
 	if d.final != e.node.Rank {
 		if !e.relayQ.TrySend(relayItem{d: d, pkt: pkt}) {
 			e.relayDrops++
+			e.count("madgo_relay_drops_total")
 			return // backpressure: no ack until the queue drains
 		}
 		e.hopAck(in, d)
@@ -688,6 +729,7 @@ func (e *relEngine) handleData(p *vtime.Proc, in *mad.Link, pkt []byte) {
 		e.hopAck(in, d)
 		if aw := e.e2e[relMsgKey{origin: d.origin, id: d.id}]; aw != nil {
 			e.trace("e2e", 0, p.Now())
+			e.hop(d.id, p.Now(), "e2e", "end-to-end ack received", 0)
 			complete(aw)
 		}
 		return
@@ -705,6 +747,8 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 		// because our end-to-end ack got lost. Re-ack.
 		e.dups++
 		e.trace("dup", len(d.payload), p.Now())
+		e.count("madgo_duplicates_total")
+		e.hop(d.id, p.Now(), "dup", fmt.Sprintf("frag %d after completion, re-acked", d.frag), len(d.payload))
 		e.sendE2E(d.origin, d.id)
 		return
 	}
@@ -716,6 +760,8 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 	if _, have := m.frags[d.frag]; have {
 		e.dups++
 		e.trace("dup", len(d.payload), p.Now())
+		e.count("madgo_duplicates_total")
+		e.hop(d.id, p.Now(), "dup", fmt.Sprintf("frag %d suppressed", d.frag), len(d.payload))
 		return
 	}
 	m.frags[d.frag] = d.payload
@@ -724,6 +770,14 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 		if !e.vc.merged[e.node.Rank].TrySend(incoming{rel: m}) {
 			panic("fwd: merged arrival queue overflow on " + e.node.Name)
 		}
+		payload := 0
+		for f, b := range m.frags {
+			if f != 0 {
+				payload += len(b)
+			}
+		}
+		e.hop(d.id, p.Now(), "deliver",
+			fmt.Sprintf("reassembled at %s (%d fragments)", e.node.Name, m.total), payload)
 		e.sendE2E(d.origin, d.id)
 	}
 }
@@ -745,6 +799,7 @@ func (e *relEngine) sendE2E(origin mad.Rank, id uint64) {
 	}
 	if !e.relayQ.TrySend(it) {
 		e.relayDrops++
+		e.count("madgo_relay_drops_total")
 	}
 }
 
@@ -779,6 +834,7 @@ func (e *relEngine) relayLoop(p *vtime.Proc) {
 			}
 		} else {
 			e.relayDrops++
+			e.count("madgo_relay_drops_total")
 		}
 	}
 }
@@ -828,11 +884,12 @@ type relBlock struct {
 type relPacking struct {
 	eng    *relEngine
 	dst    string
+	id     uint64
 	blocks []relBlock
 }
 
 func newRelPacking(eng *relEngine, dst string) *relPacking {
-	return &relPacking{eng: eng, dst: dst}
+	return &relPacking{eng: eng, dst: dst, id: eng.vc.nextMsgID()}
 }
 
 func (rp *relPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMode) {
@@ -846,7 +903,7 @@ func (rp *relPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.Rec
 }
 
 func (rp *relPacking) end(p *vtime.Proc) {
-	rp.eng.sendMessage(p, rp.dst, rp.blocks)
+	rp.eng.sendMessage(p, rp.dst, rp.blocks, rp.id)
 }
 
 // relUnpacking is the receiver side: the message is already fully

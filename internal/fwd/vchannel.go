@@ -5,6 +5,7 @@ import (
 
 	"madgo/internal/hw"
 	"madgo/internal/mad"
+	"madgo/internal/obs"
 	"madgo/internal/route"
 	"madgo/internal/topo"
 	"madgo/internal/trace"
@@ -110,7 +111,22 @@ type VirtualChannel struct {
 	// Reliable-mode state: one engine per node, in declaration order.
 	rel      map[string]*relEngine
 	relOrder []string
+
+	// msgSeq issues channel-global message IDs at pack time; every layer a
+	// message crosses records provenance hops under its ID. Deterministic:
+	// the simulation is single-threaded, so pack order fixes the sequence.
+	msgSeq uint64
 }
+
+// nextMsgID issues the next channel-global message ID (IDs start at 1 so 0
+// can mean "unassigned").
+func (vc *VirtualChannel) nextMsgID() uint64 {
+	vc.msgSeq++
+	return vc.msgSeq
+}
+
+// metrics returns the platform's registry (nil records nothing).
+func (vc *VirtualChannel) metrics() *obs.Registry { return vc.sess.Platform.Metrics }
 
 // Build creates the nodes, real channels, routing table and gateway engines
 // of a virtual channel over the given topology. The session must be empty:
@@ -310,8 +326,14 @@ type Packing struct {
 	plain *mad.Packing
 	gtm   *gtmPacking
 	rel   *relPacking
+	id    uint64
 	ended bool
 }
+
+// MsgID returns the message's channel-global ID, assigned at BeginPacking.
+// Registry.MessageTrace(id) reconstructs the message's hop-by-hop provenance
+// when metrics are armed.
+func (px *Packing) MsgID() uint64 { return px.id }
 
 // BeginPacking starts a message to the named destination, choosing "the
 // appropriate underlying real channel ... dynamically depending whether it
@@ -327,7 +349,9 @@ func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
 		if _, ok := e.vc.nodes[dst]; !ok {
 			panic("fwd: unknown destination " + dst)
 		}
-		return &Packing{rel: newRelPacking(e.vc.rel[e.node.Name], dst)}
+		rp := newRelPacking(e.vc.rel[e.node.Name], dst)
+		e.vc.metrics().RecordHop(rp.id, p.Now(), e.node.Name, "pack", "reliable -> "+dst, 0)
+		return &Packing{rel: rp, id: rp.id}
 	}
 	r, ok := e.vc.tbl.Lookup(e.node.Name, dst)
 	if !ok {
@@ -336,14 +360,20 @@ func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
 	hop := r[0]
 	if r.Direct() {
 		ep := e.vc.regular[hop.Network].At(e.node)
-		return &Packing{plain: ep.BeginPacking(p, e.vc.NodeRank(dst))}
+		id := e.vc.nextMsgID()
+		e.vc.metrics().RecordHop(id, p.Now(), e.node.Name, "pack",
+			fmt.Sprintf("direct -> %s via %s", dst, hop.Network), 0)
+		return &Packing{plain: ep.BeginPacking(p, e.vc.NodeRank(dst)), id: id}
 	}
 	spc, ok := e.vc.special[hop.Network]
 	if !ok {
 		panic("fwd: route crosses network without a special channel: " + hop.Network)
 	}
 	link := spc.Link(e.node.Rank, e.vc.NodeRank(hop.To))
-	return &Packing{gtm: newGTMPacking(p, e.vc, e.node, link, e.vc.NodeRank(dst))}
+	g := newGTMPacking(p, e.vc, e.node, link, e.vc.NodeRank(dst))
+	e.vc.metrics().RecordHop(g.id, p.Now(), e.node.Name, "pack",
+		fmt.Sprintf("gtm -> %s via %s", dst, hop.Network), 0)
+	return &Packing{gtm: g, id: g.id}
 }
 
 // Pack appends one block, as in the mad layer.

@@ -15,6 +15,7 @@ import (
 
 	"madgo/internal/fault"
 	"madgo/internal/fluid"
+	"madgo/internal/obs"
 	"madgo/internal/vtime"
 )
 
@@ -90,7 +91,11 @@ type Platform struct {
 	Engine *fluid.Engine
 	// Faults is the armed fault injector, nil when fault injection is
 	// off. The link engine consults it on every reliable transmission.
-	Faults   *fault.Injector
+	Faults *fault.Injector
+	// Metrics is the platform-wide metrics registry; nil (recording
+	// nothing) unless SetMetrics armed one. Every layer with a path to the
+	// platform records through it.
+	Metrics  *obs.Registry
 	hosts    map[string]*Host
 	networks []*Network
 }
@@ -98,6 +103,18 @@ type Platform struct {
 // NewPlatform creates a platform on the given simulation.
 func NewPlatform(sim *vtime.Sim) *Platform {
 	return &Platform{Sim: sim, Engine: fluid.NewEngine(sim), hosts: make(map[string]*Host)}
+}
+
+// SetMetrics arms a metrics registry on the platform and everything hanging
+// off it: the fluid engine's flow accounting, the fault injector's verdict
+// counters (when one is armed), and the registry's clock.
+func (pl *Platform) SetMetrics(m *obs.Registry) {
+	pl.Metrics = m
+	pl.Engine.Metrics = m
+	m.SetClock(pl.Sim.Now)
+	if pl.Faults != nil {
+		pl.Faults.SetMetrics(m)
+	}
 }
 
 // ArmFaults installs a fault injector on the platform and schedules its
@@ -112,6 +129,9 @@ func (pl *Platform) ArmFaults(inj *fault.Injector) {
 		panic("hw: ArmFaults called twice")
 	}
 	pl.Faults = inj
+	if pl.Metrics != nil {
+		inj.SetMetrics(pl.Metrics)
+	}
 	tr := inj.Tracer()
 	for _, w := range inj.Windows() {
 		w := w
@@ -186,6 +206,8 @@ func (h *Host) Memcpy(p *vtime.Proc, n int) {
 	}
 	h.copies++
 	h.copied += int64(n)
+	h.platform.Metrics.Add("madgo_memcpy_total", obs.Labels{"node": h.Name}, 1)
+	h.platform.Metrics.Add("madgo_memcpy_bytes_total", obs.Labels{"node": h.Name}, float64(n))
 	if n > 0 {
 		p.Sleep(vtime.DurationOfBytes(int64(n), h.CPU.MemcpyRate))
 	}

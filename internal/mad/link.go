@@ -6,6 +6,7 @@ import (
 	"madgo/internal/fault"
 	"madgo/internal/fluid"
 	"madgo/internal/hw"
+	"madgo/internal/obs"
 	"madgo/internal/vtime"
 	"madgo/internal/vtime/vsync"
 )
@@ -169,6 +170,9 @@ func (l *Link) ReleaseRecv(p *vtime.Proc) { l.recvMu.Unlock(p) }
 // injection is off).
 func (l *Link) faults() *fault.Injector { return l.Src.Session.Platform.Faults }
 
+// metrics returns the platform's metrics registry (nil records nothing).
+func (l *Link) metrics() *obs.Registry { return l.Src.Session.Platform.Metrics }
+
 // flow charges the transfer over sender bus → wire → receiver bus. It
 // reports false when a fault window cancelled the flow mid-transfer.
 func (l *Link) flow(p *vtime.Proc, wireBytes, payloadLen int) bool {
@@ -195,6 +199,17 @@ func (l *Link) flow(p *vtime.Proc, wireBytes, payloadLen int) bool {
 // had posted). The data slice is referenced, not copied; the BMM layer has
 // already made any copies its policy requires.
 func (l *Link) Send(p *vtime.Proc, meta TxMeta, data []byte) {
+	m := l.metrics()
+	labels := obs.Labels{"net": l.Channel.net.Name, "node": l.Src.Name}
+	m.Add("madgo_link_sends_total", labels, 1)
+	m.Add("madgo_link_send_bytes_total", labels, float64(len(data)))
+	t0 := p.Now()
+	l.send(p, meta, data)
+	m.ObserveDuration("madgo_link_send_seconds", labels, vtime.Since(p.Now(), t0))
+}
+
+// send is the uninstrumented transmission path behind Send.
+func (l *Link) send(p *vtime.Proc, meta TxMeta, data []byte) {
 	if got := meta.payloadBytes(); got != len(data) {
 		panic(fmt.Sprintf("mad: block descriptors say %d bytes, payload has %d", got, len(data)))
 	}

@@ -1,0 +1,309 @@
+// Package obs is the observability layer of the reproduction: a
+// virtual-time-aware metrics registry (counters, gauges and log-bucketed
+// latency histograms with quantile queries, keyed by free-form labels) plus
+// causal per-message tracing — every message packed on a virtual channel
+// gets an ID, and every layer it crosses appends hop events, so a single
+// message's full provenance (fragmentation, gateway relays, retransmits,
+// failovers, end-to-end acks) can be reconstructed after the run.
+//
+// The registry is the quantitative counterpart of package trace's span
+// recorder: spans answer "what was this lane doing at t", the registry
+// answers "how many, how big, how long" over the whole run, and the hop log
+// answers "where did message 17 go". Exporters turn all three into
+// machine-readable artifacts: a Prometheus-style text snapshot
+// (WritePrometheus) and a Chrome trace_event JSON loadable in Perfetto
+// (WriteChromeTrace).
+//
+// A nil *Registry is valid and records nothing, so instrumented code needs
+// no conditionals — the same convention as trace.Tracer. All methods are
+// safe for concurrent use; the simulation itself is single-threaded, but
+// tests and tools may read while goroutines record.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"madgo/internal/vtime"
+)
+
+// Labels is one metric's label set. Callers pass literals; the registry
+// canonicalizes (sorted keys) so the same set always names the same series.
+type Labels map[string]string
+
+// Hop is one event in a message's life: packed, sent over a hop, relayed,
+// retransmitted, failed over, delivered, acknowledged end to end.
+type Hop struct {
+	Msg    uint64     // message ID assigned at pack time
+	At     vtime.Time // virtual time of the event
+	Node   string     // where it happened
+	Op     string     // "pack", "hop", "relay", "rexmit", "failover", "deliver", "e2e", ...
+	Detail string     // human-readable specifics ("frag 3 -> gw via sci0")
+	Bytes  int        // payload bytes involved (0 for control events)
+}
+
+func (h Hop) String() string {
+	return fmt.Sprintf("%12v  %-8s %-10s %6dB  %s", h.At, h.Node, h.Op, h.Bytes, h.Detail)
+}
+
+// Registry collects labeled counters, gauges and histograms plus the
+// per-message hop log. The zero value is not usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	clock    func() vtime.Time
+	counters map[string]*series
+	gauges   map[string]*series
+	hists    map[string]*Histogram
+	hops     []Hop
+	byMsg    map[uint64][]int
+}
+
+// series is one labeled counter or gauge.
+type series struct {
+	name   string
+	labels Labels
+	val    float64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*series),
+		gauges:   make(map[string]*series),
+		hists:    make(map[string]*Histogram),
+		byMsg:    make(map[uint64][]int),
+	}
+}
+
+// SetClock installs the virtual-time source used to stamp snapshots
+// (typically vtime.Sim.Now). A registry without a clock stamps time zero.
+func (r *Registry) SetClock(fn func() vtime.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = fn
+	r.mu.Unlock()
+}
+
+// Now returns the registry's current virtual time.
+func (r *Registry) Now() vtime.Time {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	fn := r.clock
+	r.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// key builds the canonical series identity: name{k1="v1",k2="v2"} with keys
+// sorted.
+func key(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// copyLabels snapshots a label map so later caller mutation cannot corrupt
+// the series identity.
+func copyLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Add increments the named counter series by delta (creating it at zero
+// first). A delta of zero registers the series so it appears in snapshots
+// before the first event.
+func (r *Registry) Add(name string, labels Labels, delta float64) {
+	if r == nil {
+		return
+	}
+	if delta < 0 {
+		panic("obs: counter " + name + " decremented")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(name, labels)
+	s := r.counters[k]
+	if s == nil {
+		s = &series{name: name, labels: copyLabels(labels)}
+		r.counters[k] = s
+	}
+	s.val += delta
+}
+
+// Set sets the named gauge series to v.
+func (r *Registry) Set(name string, labels Labels, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(name, labels)
+	s := r.gauges[k]
+	if s == nil {
+		s = &series{name: name, labels: copyLabels(labels)}
+		r.gauges[k] = s
+	}
+	s.val = v
+}
+
+// Observe records v into the named histogram series.
+func (r *Registry) Observe(name string, labels Labels, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(name, labels)
+	h := r.hists[k]
+	if h == nil {
+		h = newHistogram(name, copyLabels(labels))
+		r.hists[k] = h
+	}
+	h.observe(v)
+}
+
+// ObserveDuration records a virtual duration, in seconds, into the named
+// histogram series.
+func (r *Registry) ObserveDuration(name string, labels Labels, d vtime.Duration) {
+	r.Observe(name, labels, d.Seconds())
+}
+
+// Counter returns the current value of a counter series (0 when absent).
+func (r *Registry) Counter(name string, labels Labels) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.counters[key(name, labels)]; s != nil {
+		return s.val
+	}
+	return 0
+}
+
+// Gauge returns the current value of a gauge series (0 when absent).
+func (r *Registry) Gauge(name string, labels Labels) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.gauges[key(name, labels)]; s != nil {
+		return s.val
+	}
+	return 0
+}
+
+// Quantile returns the q-quantile estimate of a histogram series, with
+// ok=false when the series is absent or empty.
+func (r *Registry) Quantile(name string, labels Labels, q float64) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[key(name, labels)]
+	if h == nil || h.count == 0 {
+		return 0, false
+	}
+	return h.quantile(q), true
+}
+
+// HistogramCount returns the observation count of a histogram series.
+func (r *Registry) HistogramCount(name string, labels Labels) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[key(name, labels)]; h != nil {
+		return h.count
+	}
+	return 0
+}
+
+// RecordHop appends one event to a message's provenance log.
+func (r *Registry) RecordHop(msg uint64, at vtime.Time, node, op, detail string, bytes int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byMsg[msg] = append(r.byMsg[msg], len(r.hops))
+	r.hops = append(r.hops, Hop{Msg: msg, At: at, Node: node, Op: op, Detail: detail, Bytes: bytes})
+}
+
+// MessageTrace returns the full hop sequence of one message, ordered by
+// virtual time (ties keep recording order). Nil when the message is unknown.
+func (r *Registry) MessageTrace(msg uint64) []Hop {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.byMsg[msg]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Hop, len(idx))
+	for i, j := range idx {
+		out[i] = r.hops[j]
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Messages returns the IDs of every traced message, ascending.
+func (r *Registry) Messages() []uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, 0, len(r.byMsg))
+	for id := range r.byMsg {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Hops returns every recorded hop event in recording order.
+func (r *Registry) Hops() []Hop {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Hop(nil), r.hops...)
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry as a Prometheus-style text snapshot:
+// counters and gauges as plain series, histograms as cumulative `_bucket`
+// series plus `_sum`/`_count` and precomputed quantile series (p50/p90/p99),
+// everything sorted so snapshots diff cleanly. The header comment carries
+// the virtual timestamp of the snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, "# no metrics registry armed")
+		return
+	}
+	fmt.Fprintf(w, "# madgo metrics snapshot at virtual time %v\n", r.Now())
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	families := make(map[string][]string) // family name -> rendered lines
+	types := make(map[string]string)
+
+	for k, s := range r.counters {
+		families[s.name] = append(families[s.name], fmt.Sprintf("%s %s", k, formatVal(s.val)))
+		types[s.name] = "counter"
+	}
+	for k, s := range r.gauges {
+		families[s.name] = append(families[s.name], fmt.Sprintf("%s %s", k, formatVal(s.val)))
+		types[s.name] = "gauge"
+	}
+	for _, h := range r.hists {
+		families[h.name] = append(families[h.name], renderHistogram(h)...)
+		types[h.name] = "histogram"
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s %s\n", n, types[n])
+		lines := families[n]
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}
+
+// renderHistogram emits the cumulative bucket, sum, count and quantile lines
+// of one histogram series.
+func renderHistogram(h *Histogram) []string {
+	var out []string
+	var cum int64
+	for _, i := range h.sortedIndexes() {
+		cum += h.buckets[i]
+		out = append(out, fmt.Sprintf("%s %d",
+			key(h.name+"_bucket", withLabel(h.labels, "le", formatVal(bucketUpper(i)))), cum))
+	}
+	out = append(out, fmt.Sprintf("%s %d",
+		key(h.name+"_bucket", withLabel(h.labels, "le", "+Inf")), h.count))
+	out = append(out, fmt.Sprintf("%s %s", key(h.name+"_sum", h.labels), formatVal(h.sum)))
+	out = append(out, fmt.Sprintf("%s %d", key(h.name+"_count", h.labels), h.count))
+	for _, q := range [...]float64{0.5, 0.9, 0.99} {
+		out = append(out, fmt.Sprintf("%s %s",
+			key(h.name, withLabel(h.labels, "quantile", fmt.Sprintf("%g", q))), formatVal(h.quantile(q))))
+	}
+	return out
+}
+
+// withLabel returns labels plus one extra pair (the original is not
+// mutated).
+func withLabel(l Labels, k, v string) Labels {
+	out := make(Labels, len(l)+1)
+	for kk, vv := range l {
+		out[kk] = vv
+	}
+	out[k] = v
+	return out
+}
+
+// formatVal renders a sample value the way Prometheus text format expects:
+// integers without a decimal point, everything else in compact scientific
+// form.
+func formatVal(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%g", v)
+	return strings.TrimSpace(s)
+}

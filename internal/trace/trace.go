@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"madgo/internal/vtime"
 )
@@ -31,8 +32,11 @@ func (s Span) String() string {
 }
 
 // Tracer collects spans. A nil *Tracer is valid and records nothing, so
-// instrumented code needs no conditionals.
+// instrumented code needs no conditionals. All methods are safe for
+// concurrent use: the simulation is single-threaded, but gateway daemons and
+// tests may record from separate goroutines.
 type Tracer struct {
+	mu    sync.Mutex
 	spans []Span
 }
 
@@ -44,7 +48,9 @@ func (t *Tracer) Record(actor, op string, bytes int, t0, t1 vtime.Time) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.spans = append(t.spans, Span{Actor: actor, Op: op, Bytes: bytes, T0: t0, T1: t1})
+	t.mu.Unlock()
 }
 
 // Spans returns every recorded span in recording order.
@@ -52,16 +58,15 @@ func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return append([]Span(nil), t.spans...)
 }
 
 // ByActor returns the spans of one actor, in time order.
 func (t *Tracer) ByActor(actor string) []Span {
-	if t == nil {
-		return nil
-	}
 	var out []Span
-	for _, s := range t.spans {
+	for _, s := range t.Spans() {
 		if s.Actor == actor {
 			out = append(out, s)
 		}
@@ -72,12 +77,9 @@ func (t *Tracer) ByActor(actor string) []Span {
 
 // Actors returns the distinct actor names, sorted.
 func (t *Tracer) Actors() []string {
-	if t == nil {
-		return nil
-	}
 	seen := make(map[string]bool)
 	var out []string
-	for _, s := range t.spans {
+	for _, s := range t.Spans() {
 		if !seen[s.Actor] {
 			seen[s.Actor] = true
 			out = append(out, s.Actor)
@@ -89,9 +91,12 @@ func (t *Tracer) Actors() []string {
 
 // Reset discards all recorded spans.
 func (t *Tracer) Reset() {
-	if t != nil {
-		t.spans = t.spans[:0]
+	if t == nil {
+		return
 	}
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.mu.Unlock()
 }
 
 // Periods returns the start-to-start intervals between consecutive spans of
@@ -151,10 +156,49 @@ func (t *Tracer) SteadyMean(actor, op string, warmup, cooldown int) (vtime.Durat
 	return sum / vtime.Duration(len(spans)), len(spans)
 }
 
+// opMark maps an operation name to its one-character timeline mark. Well
+// known ops keep their historical marks; anything else falls back to the
+// op's first letter.
+func opMark(op string) byte {
+	switch op {
+	case "recv":
+		return 'r'
+	case "send":
+		return 's'
+	case "swap":
+		return 'x'
+	case "header":
+		return 'h'
+	case "rexmit":
+		return 'R'
+	case "failover":
+		return 'F'
+	case "resend":
+		return 'M'
+	case "crash":
+		return 'C'
+	case "flap":
+		return '~'
+	case "drop":
+		return 'd'
+	case "corrupt", "corrupt-drop":
+		return 'c'
+	case "e2e":
+		return 'e'
+	case "dup":
+		return 'D'
+	}
+	if len(op) > 0 {
+		return op[0]
+	}
+	return '?'
+}
+
 // Timeline renders an ASCII Gantt chart of all actors between t0 and t1,
 // with the given number of character columns — the textual Figure 5 /
 // Figure 8. Each actor gets a lane; busy intervals are drawn with the op's
-// first letter ('r'eceive, 's'end, '×' for swaps).
+// mark (see opMark). A legend derived from the ops actually present in the
+// window is printed under the chart.
 func (t *Tracer) Timeline(t0, t1 vtime.Time, cols int) string {
 	if t == nil || cols <= 0 || t1 <= t0 {
 		return ""
@@ -170,6 +214,7 @@ func (t *Tracer) Timeline(t0, t1 vtime.Time, cols int) string {
 		}
 	}
 	total := t1.Sub(t0)
+	rendered := make(map[string]byte)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%*s  |%v .. %v, one column = %v|\n", width, "", t0, t1, total/vtime.Duration(cols))
 	for _, a := range actors {
@@ -181,39 +226,8 @@ func (t *Tracer) Timeline(t0, t1 vtime.Time, cols int) string {
 			if s.T1 <= t0 || s.T0 >= t1 {
 				continue
 			}
-			mark := byte('?')
-			switch s.Op {
-			case "recv":
-				mark = 'r'
-			case "send":
-				mark = 's'
-			case "swap":
-				mark = 'x'
-			case "header":
-				mark = 'h'
-			case "rexmit":
-				mark = 'R'
-			case "failover":
-				mark = 'F'
-			case "resend":
-				mark = 'M'
-			case "crash":
-				mark = 'C'
-			case "flap":
-				mark = '~'
-			case "drop":
-				mark = 'd'
-			case "corrupt", "corrupt-drop":
-				mark = 'c'
-			case "e2e":
-				mark = 'e'
-			case "dup":
-				mark = 'D'
-			default:
-				if len(s.Op) > 0 {
-					mark = s.Op[0]
-				}
-			}
+			mark := opMark(s.Op)
+			rendered[s.Op] = mark
 			c0 := int(int64(s.T0-t0) * int64(cols) / int64(total))
 			c1 := int(int64(s.T1-t0) * int64(cols) / int64(total))
 			if c0 < 0 {
@@ -227,6 +241,18 @@ func (t *Tracer) Timeline(t0, t1 vtime.Time, cols int) string {
 			}
 		}
 		fmt.Fprintf(&sb, "%*s  %s\n", width, a, lane)
+	}
+	if len(rendered) > 0 {
+		ops := make([]string, 0, len(rendered))
+		for op := range rendered {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		parts := make([]string, len(ops))
+		for i, op := range ops {
+			parts[i] = fmt.Sprintf("%c = %s", rendered[op], op)
+		}
+		fmt.Fprintf(&sb, "%*s  legend: %s\n", width, "", strings.Join(parts, ", "))
 	}
 	return sb.String()
 }

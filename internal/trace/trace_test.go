@@ -120,3 +120,115 @@ func TestSpanStringAndDuration(t *testing.T) {
 		t.Fatalf("String() = %q", str)
 	}
 }
+
+func TestTimelineLegend(t *testing.T) {
+	tr := sample()
+	tl := tr.Timeline(0, us(640), 64)
+	if !strings.Contains(tl, "legend:") {
+		t.Fatalf("timeline has no legend:\n%s", tl)
+	}
+	for _, want := range []string{"r = recv", "s = send", "x = swap"} {
+		if !strings.Contains(tl, want) {
+			t.Fatalf("legend missing %q:\n%s", want, tl)
+		}
+	}
+	// Ops outside the window must not appear in the legend.
+	tr.Record("gw:recv:sci0", "rexmit", 0, us(900), us(950))
+	if tl := tr.Timeline(0, us(640), 64); strings.Contains(tl, "R = rexmit") {
+		t.Fatalf("legend lists op outside window:\n%s", tl)
+	}
+	if tl := tr.Timeline(0, us(1000), 64); !strings.Contains(tl, "R = rexmit") {
+		t.Fatalf("legend misses op inside window:\n%s", tl)
+	}
+	// Novel ops get their first letter, not '?'.
+	tr2 := New()
+	tr2.Record("a", "poll", 0, us(0), us(10))
+	if tl := tr2.Timeline(0, us(10), 10); !strings.Contains(tl, "p = poll") {
+		t.Fatalf("derived legend missing novel op:\n%s", tl)
+	}
+}
+
+func TestOpMarkFallbacks(t *testing.T) {
+	if opMark("recv") != 'r' || opMark("swap") != 'x' || opMark("corrupt-drop") != 'c' {
+		t.Fatal("known op marks changed")
+	}
+	if opMark("zing") != 'z' {
+		t.Fatal("unknown op should use its first letter")
+	}
+	if opMark("") != '?' {
+		t.Fatal("empty op should render '?'")
+	}
+}
+
+func TestTimelineBoundarySpans(t *testing.T) {
+	tr := New()
+	tr.Record("a", "recv", 1, us(0), us(10))    // starts exactly at t0
+	tr.Record("a", "send", 1, us(90), us(100))  // ends exactly at t1
+	tr.Record("a", "swap", 1, us(100), us(110)) // starts exactly at t1: excluded
+	tr.Record("a", "drop", 1, us(-10), us(0))   // ends exactly at t0: excluded
+	tl := tr.Timeline(0, us(100), 10)
+	if !strings.Contains(tl, "r") || !strings.Contains(tl, "s") {
+		t.Fatalf("boundary spans not rendered:\n%s", tl)
+	}
+	if strings.Contains(tl, "x = swap") || strings.Contains(tl, "d = drop") {
+		t.Fatalf("spans outside [t0,t1) rendered:\n%s", tl)
+	}
+	// A span wider than the window is clipped, not crashed on.
+	tr.Record("a", "recv", 1, us(-50), us(500))
+	if tl := tr.Timeline(0, us(100), 10); tl == "" {
+		t.Fatal("clipped span produced empty timeline")
+	}
+}
+
+func TestSteadyMeanDegenerate(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 4; i++ {
+		tr.Record("a", "recv", 1, us(i*100), us(i*100+10))
+	}
+	// warmup+cooldown == len(spans): nothing left.
+	if mean, n := tr.SteadyMean("a", "recv", 2, 2); n != 0 || mean != 0 {
+		t.Fatalf("exact trim returned %v over %d", mean, n)
+	}
+	// warmup+cooldown > len(spans): negative slice bounds must not panic.
+	if mean, n := tr.SteadyMean("a", "recv", 10, 10); n != 0 || mean != 0 {
+		t.Fatalf("over-trim returned %v over %d", mean, n)
+	}
+	var nilTr *Tracer
+	if mean, n := nilTr.SteadyMean("a", "recv", 0, 0); n != 0 || mean != 0 {
+		t.Fatal("nil tracer SteadyMean returned samples")
+	}
+}
+
+func TestNilTracerAnalysisMethods(t *testing.T) {
+	var tr *Tracer
+	if p := tr.Periods("a", "recv"); p != nil {
+		t.Fatal("nil tracer Periods returned data")
+	}
+	if mean, n := tr.MeanDuration("a", "recv"); n != 0 || mean != 0 {
+		t.Fatal("nil tracer MeanDuration returned samples")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	// Regression test for the data race between gateway daemons recording
+	// from separate goroutines; run under -race.
+	tr := New()
+	const goroutines, each = 8, 200
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < each; i++ {
+				tr.Record("a", "recv", g, us(int64(i)), us(int64(i)+1))
+				_ = tr.Spans()
+				_ = tr.Actors()
+			}
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if n := len(tr.Spans()); n != goroutines*each {
+		t.Fatalf("recorded %d spans, want %d", n, goroutines*each)
+	}
+}

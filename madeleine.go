@@ -43,6 +43,7 @@ package madeleine
 
 import (
 	"fmt"
+	"io"
 
 	"madgo/internal/bench"
 	"madgo/internal/coll"
@@ -55,6 +56,7 @@ import (
 	"madgo/internal/fwd"
 	"madgo/internal/hw"
 	"madgo/internal/mad"
+	"madgo/internal/obs"
 	"madgo/internal/route"
 	"madgo/internal/topo"
 	"madgo/internal/trace"
@@ -101,6 +103,16 @@ type (
 	DeliveryError = fwd.DeliveryError
 	// DeliveryStats aggregates the recovery work of a reliable run.
 	DeliveryStats = fwd.DeliveryStats
+	// Metrics is a virtual-time-aware metrics registry: counters, gauges,
+	// latency histograms and per-message provenance traces, attached with
+	// WithMetrics.
+	Metrics = obs.Registry
+	// MetricLabels tags one metric series (e.g. {"node": "gw"}).
+	MetricLabels = obs.Labels
+	// MessageHop is one provenance event of a traced message.
+	MessageHop = obs.Hop
+	// Lane is the busy/stall/idle decomposition of one pipeline actor.
+	Lane = obs.Lane
 )
 
 // NewFaultPlan starts an empty deterministic fault plan; chain Drop,
@@ -155,6 +167,9 @@ type Options struct {
 	InflowLimit float64
 	// Tracer, when non-nil, records gateway pipeline activity.
 	Tracer *Tracer
+	// Metrics, when non-nil, receives counters, histograms and message
+	// provenance from every layer of the system.
+	Metrics *Metrics
 	// RouteNetworks restricts the virtual channel to the named networks
 	// (e.g. the high-speed ones) when the configuration also declares a
 	// control network.
@@ -200,6 +215,13 @@ func WithInflowLimit(bytesPerSec float64) Option {
 // WithTracer attaches a pipeline tracer.
 func WithTracer(tr *Tracer) Option { return func(o *Options) { o.Tracer = tr } }
 
+// WithMetrics attaches a metrics registry. The system clocks it with virtual
+// time and instruments link sends, gateway relays, buffer switches, copies,
+// injected faults and the reliable mode's recovery work; every message packed
+// on the virtual channel gets a provenance trace queryable with
+// System.MessageTrace.
+func WithMetrics(m *Metrics) Option { return func(o *Options) { o.Metrics = m } }
+
 // WithRouteNetworks restricts the virtual channel to the named networks.
 func WithRouteNetworks(names ...string) Option {
 	return func(o *Options) { o.RouteNetworks = names }
@@ -228,6 +250,8 @@ type System struct {
 	Session  *mad.Session
 	Channel  *fwd.VirtualChannel
 	Topology *topo.Topology
+
+	tracer *Tracer // the WithTracer tracer, for the Chrome exporter
 }
 
 // NewSystem parses a textual topology (see the topo format in README) and
@@ -261,6 +285,11 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 	reliable := o.Reliable || plan != nil || o.Retry != nil
 	sim := vtime.New()
 	pl := hw.NewPlatform(sim)
+	if o.Metrics != nil {
+		// Before fwd.Build so reliable mode's counter pre-registration
+		// lands in the registry.
+		pl.SetMetrics(o.Metrics)
+	}
 	sess := mad.NewSession(pl)
 	// Reliable mode keeps the excluded control networks alive as failover
 	// paths, so drivers are bound for the full topology.
@@ -312,7 +341,7 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Sim: sim, Session: sess, Channel: vc, Topology: tp}, nil
+	return &System{Sim: sim, Session: sess, Channel: vc, Topology: tp, tracer: o.Tracer}, nil
 }
 
 func driverFor(protocol string) (mad.Driver, error) {
@@ -402,6 +431,40 @@ func (s *System) CommAt(self string, members ...string) (*Comm, error) {
 
 // NewTracer returns an empty pipeline tracer for WithTracer.
 func NewTracer() *Tracer { return trace.New() }
+
+// NewMetrics returns an empty metrics registry for WithMetrics.
+func NewMetrics() *Metrics { return obs.New() }
+
+// Metrics returns the registry attached with WithMetrics, or nil. A nil
+// *Metrics is safe to query: every method returns zero values.
+func (s *System) Metrics() *Metrics { return s.Session.Platform.Metrics }
+
+// MessageTrace returns the provenance of one message — every pack, hop,
+// relay, retransmission, failover and delivery event it went through, in
+// virtual-time order. Message IDs start at 1 in pack order; Metrics().
+// Messages() lists them all.
+func (s *System) MessageTrace(id uint64) []MessageHop { return s.Metrics().MessageTrace(id) }
+
+// WritePrometheus writes a Prometheus text-format snapshot of every metric
+// the attached registry holds (counters, gauges, histograms with cumulative
+// buckets and p50/p90/p99 quantile pseudo-series).
+func (s *System) WritePrometheus(w io.Writer) { s.Metrics().WritePrometheus(w) }
+
+// WriteChromeTrace writes the run as Chrome trace_event JSON — loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Pipeline spans come from
+// the WithTracer tracer, per-message provenance from the WithMetrics
+// registry; either may be absent.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, s.tracer.Spans(), s.Metrics().Hops())
+}
+
+// Lanes decomposes each traced pipeline actor's [t0, t1) window into busy,
+// stall (buffer switches) and idle time, with the §3.3.1 steady-state period
+// of its dominant operation. It needs a WithTracer tracer.
+func (s *System) Lanes(t0, t1 Time) []Lane { return obs.AnalyzeLanes(s.tracer, t0, t1) }
+
+// WriteLaneReport renders Lanes as an aligned text table.
+func WriteLaneReport(w io.Writer, lanes []Lane) { obs.WriteLaneReport(w, lanes) }
 
 // Experiments returns the registered paper experiments (fig6, fig7, t1...,
 // a5) plus the reliability extension (r1); see cmd/madbench for a
