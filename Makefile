@@ -1,7 +1,10 @@
 GO ?= go
 COVER_MIN ?= 85
+FWD_COVER_MIN ?= 80
+FUZZTIME ?= 30s
+FUZZ_TARGETS = FuzzGTMHeader FuzzRelData FuzzRelAck FuzzRelDesc
 
-.PHONY: check build vet test race bench cover
+.PHONY: check build vet test race bench cover fuzz
 
 check: build vet race cover
 
@@ -20,13 +23,29 @@ race:
 bench:
 	$(GO) test -bench . -benchmem
 	$(GO) run ./cmd/madbench -json o1 > BENCH_o1.json
+	$(GO) run ./cmd/madbench -json p1 > BENCH_p1.json
 
-# cover gates the observability packages: the metrics registry and the
-# tracer are the measurement substrate every perf claim rests on, so their
-# statement coverage must stay above COVER_MIN percent.
+# fuzz smokes every wire-codec fuzz target for FUZZTIME each (go test
+# accepts a single -fuzz pattern per invocation, hence the loop). CI runs
+# this with the default 30s per target.
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/fwd -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); \
+	done
+
+# cover gates the observability packages — the metrics registry and the
+# tracer are the measurement substrate every perf claim rests on — and the
+# forwarding engine itself, whose gate FWD_COVER_MIN covers the gateway
+# pipeline, the GTM and the reliable codecs.
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/obs ./internal/trace
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) \
 		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
 		   printf "obs+trace coverage: %s%% (gate: %s%%)\n", cov, min; \
+		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'
+	$(GO) test -coverprofile=cover_fwd.out ./internal/fwd
+	@$(GO) tool cover -func=cover_fwd.out | awk -v min=$(FWD_COVER_MIN) \
+		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
+		   printf "fwd coverage: %s%% (gate: %s%%)\n", cov, min; \
 		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'

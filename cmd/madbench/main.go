@@ -9,7 +9,7 @@
 //	madbench -quick -csv fig6     # trimmed sweep, CSV output
 //
 // Experiment ids follow DESIGN.md: t1, fig6, fig7, t2, t3, fig5, fig8,
-// headline, a1..a5.
+// headline, a1..a5, o1 (observed stream), p1 (pipeline depth sweep).
 package main
 
 import (

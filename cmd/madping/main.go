@@ -7,6 +7,8 @@
 //	madping                                   # paper testbed, a1 -> b1
 //	madping -from a0 -to b0 -sizes 4096,65536
 //	madping -config cluster.topo -from n1 -to n9 -mtu 16384
+//	madping -depth 4                          # deeper gateway pipeline ring
+//	madping -netmtu sci0=65536,myri0=32768    # per-path MTU negotiation
 //	madping -loss 0.05 -seed 42               # goodput under 5% packet loss
 //
 // The topology file uses the format of cmd/madtopo; when -config is absent
@@ -30,6 +32,8 @@ func main() {
 		to     = flag.String("to", "b1", "destination node")
 		sizes  = flag.String("sizes", "4096,16384,65536,262144,1048576,4194304", "comma-separated message sizes in bytes")
 		mtu    = flag.Int("mtu", 32*1024, "forwarding packet size")
+		depth  = flag.Int("depth", 2, "gateway pipeline depth (1 disables pipelining)")
+		netmtu = flag.String("netmtu", "", "per-network MTU caps as name=bytes[,name=bytes...]; switches on path-MTU negotiation")
 
 		seed     = flag.Int64("seed", 1, "fault-injection seed")
 		loss     = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
@@ -38,7 +42,20 @@ func main() {
 	)
 	flag.Parse()
 
-	var opts []madeleine.Option
+	opts := []madeleine.Option{madeleine.WithPipelineDepth(*depth)}
+	if *netmtu != "" {
+		for _, kv := range strings.Split(*netmtu, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -netmtu entry %q (want name=bytes)", kv))
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				fatal(fmt.Errorf("bad -netmtu size %q", val))
+			}
+			opts = append(opts, madeleine.WithNetworkMTU(name, n))
+		}
+	}
 	if *loss > 0 || *corrupt > 0 {
 		plan := madeleine.NewFaultPlan(*seed)
 		if *loss > 0 {

@@ -6,6 +6,7 @@
 //	madtrace                      # SCI -> Myrinet (Figure 5)
 //	madtrace -dir m2s             # Myrinet -> SCI (Figure 8)
 //	madtrace -mtu 16384 -bytes 262144 -spans
+//	madtrace -depth 4             # deeper gateway pipeline ring
 //	madtrace -loss 0.05 -seed 42  # reliable delivery under 5% packet loss
 //	madtrace -crash 2ms           # the gateway dies mid-transfer
 //	madtrace -json                # machine-readable run summary on stdout
@@ -25,6 +26,7 @@ func main() {
 	var (
 		dir   = flag.String("dir", "s2m", `direction: "s2m" (SCI->Myrinet, Fig. 5) or "m2s" (Myrinet->SCI, Fig. 8)`)
 		mtu   = flag.Int("mtu", 32*1024, "forwarding packet size")
+		depth = flag.Int("depth", 2, "gateway pipeline depth (1 disables pipelining)")
 		bytes = flag.Int("bytes", 256*1024, "message size")
 		cols  = flag.Int("cols", 100, "timeline width in columns")
 		spans = flag.Bool("spans", false, "also list raw spans")
@@ -53,7 +55,8 @@ func main() {
 	tr := madeleine.NewTracer()
 	m := madeleine.NewMetrics()
 	opts := []madeleine.Option{
-		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr), madeleine.WithMetrics(m),
+		madeleine.WithMTU(*mtu), madeleine.WithPipelineDepth(*depth),
+		madeleine.WithTracer(tr), madeleine.WithMetrics(m),
 		madeleine.WithRouteNetworks("sci0", "myri0"),
 	}
 	if *loss > 0 || *corrupt > 0 || *crash > 0 {

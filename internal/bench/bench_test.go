@@ -12,7 +12,7 @@ import (
 var quick = Options{Quick: true}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "o1", "r1"}
+	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "o1", "p1", "r1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry = %v", ids)
@@ -390,5 +390,44 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	}
 	if back.ID != "o1" || len(back.Table) != len(r.Table) {
 		t.Errorf("round-tripped result = %+v", back)
+	}
+}
+
+// TestP1DepthSweep pins the pipeline-depth acceptance criteria: at 128 KB
+// packets, goodput must be monotone non-decreasing in ring depth
+// (depth 4 ≥ depth 2 ≥ depth 1) and the receive lane's stall fraction must
+// shrink as the ring deepens.
+func TestP1DepthSweep(t *testing.T) {
+	r := mustRun(t, "p1", quick)
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d, want one per depth {1,2,4,8}", len(r.Series))
+	}
+	if len(r.Table) != 4 {
+		t.Fatalf("table rows = %d, want one per depth", len(r.Table))
+	}
+	var goodput, stall []float64
+	for _, row := range r.Table {
+		var g, s float64
+		if _, err := sscanf(row[1], &g); err != nil {
+			t.Fatalf("bad goodput cell %q", row[1])
+		}
+		if _, err := sscanf(row[2], &s); err != nil {
+			t.Fatalf("bad stall cell %q", row[2])
+		}
+		goodput = append(goodput, g)
+		stall = append(stall, s)
+	}
+	for i := 1; i < len(goodput); i++ {
+		if goodput[i] < goodput[i-1] {
+			t.Errorf("goodput regressed with depth: %v", goodput)
+		}
+		// Non-increasing per step: short quick-mode messages can bottom
+		// out before the deepest ring, but depth must never hurt.
+		if stall[i] > stall[i-1] {
+			t.Errorf("stall fraction grew with depth: %v", stall)
+		}
+	}
+	if stall[0] <= stall[len(stall)-1] {
+		t.Errorf("deepest ring should stall less than no pipelining: %v", stall)
 	}
 }

@@ -1,0 +1,179 @@
+package fwd_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"madgo/internal/fwd"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/vtime"
+)
+
+// lineTopo builds a linear cluster-of-clusters: one network per protocol,
+// node "a" on the first, node "b" on the last, and a dual-NIC gateway
+// "g<i>" bridging every adjacent pair. One protocol yields the direct
+// (gateway-free) case.
+func lineTopo(protocols []string) *topo.Topology {
+	b := topo.NewBuilder()
+	names := make([]string, len(protocols))
+	for i, pr := range protocols {
+		names[i] = "n" + string(rune('1'+i))
+		b.Network(names[i], pr)
+	}
+	b.Node("a", names[0])
+	for i := 0; i+1 < len(names); i++ {
+		b.Node("g"+string(rune('1'+i)), names[i], names[i+1])
+	}
+	b.Node("b", names[len(names)-1])
+	tp, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tp
+}
+
+// xorshift is the same tiny generator the zero-copy property test uses, so
+// failures reproduce from the printed seed alone.
+func xorshift(seed uint64) func(uint64) uint64 {
+	rng := seed*6364136223846793005 + 1442695040888963407
+	return func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+}
+
+// Property: for random route shapes (direct, single gateway, two-gateway
+// chain) × random per-network MTUs × random pipeline depths, a message is
+// delivered byte-identically, the Forwarded flag reflects whether a gateway
+// relayed it, and the negotiated path MTU is the minimum over the traversed
+// networks (§2.3) — never the global minimum of the whole configuration.
+func TestForwardingProperty(t *testing.T) {
+	protocols := []string{"sci", "myrinet", "sbp"}
+	f := func(seed uint64) bool {
+		next := xorshift(seed)
+		hops := 1 + int(next(3)) // networks on the route
+		route := make([]string, hops)
+		for i := range route {
+			route[i] = protocols[next(uint64(len(protocols)))]
+		}
+		cfg := fwd.DefaultConfig()
+		cfg.PipelineDepth = 1 + int(next(8))
+		cfg.PathMTU = true
+		// Per-network MTUs stay above the SCI post-gate / BIP rendezvous
+		// thresholds (see the zero-copy property test): 8–56 KB.
+		cfg.NetMTU = make(map[string]int)
+		tp := lineTopo(route)
+		wantMTU := 0
+		for _, nw := range tp.Networks() {
+			m := 8192 * (1 + int(next(7)))
+			cfg.NetMTU[nw.Name] = m
+			if wantMTU == 0 || m < wantMTU {
+				wantMTU = m
+			}
+		}
+		cfg.MTU = 8192 * (1 + int(next(15)))
+		n := 1 + int(next(400_000))
+		w := buildQuiet(tp, cfg)
+
+		if got := w.vc.PathMTU("a", "b"); got != wantMTU {
+			t.Logf("seed %d (route %v): PathMTU(a,b) = %d, want min %d",
+				seed, route, got, wantMTU)
+			return false
+		}
+
+		payload := pattern(n, byte(seed>>8))
+		var got []byte
+		var fwded bool
+		w.sim.Spawn("s", func(p *vtime.Proc) {
+			px := w.vc.At("a").BeginPacking(p, "b")
+			px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+			px.EndPacking(p)
+		})
+		w.sim.Spawn("r", func(p *vtime.Proc) {
+			u := w.vc.At("b").BeginUnpacking(p)
+			fwded = u.Forwarded()
+			got = make([]byte, n)
+			u.Unpack(p, got, mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+		})
+		if err := w.sim.Run(); err != nil {
+			t.Logf("seed %d (route %v, depth %d, n %d): %v",
+				seed, route, cfg.PipelineDepth, n, err)
+			return false
+		}
+		if fwded != (hops > 1) {
+			t.Logf("seed %d (route %v): Forwarded = %v with %d gateways",
+				seed, route, fwded, hops-1)
+			return false
+		}
+		if !bytes.Equal(got, payload) {
+			t.Logf("seed %d (route %v, depth %d, mtus %v, n %d): payload corrupted",
+				seed, route, cfg.PipelineDepth, cfg.NetMTU, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same delivery guarantee holds in reliable mode — the
+// checksummed datagram protocol negotiates the path MTU through its
+// fragment-0 descriptor, so random per-network MTUs and depths still
+// round-trip byte-identically across a gateway.
+func TestForwardingPropertyReliable(t *testing.T) {
+	protocols := []string{"sci", "myrinet"}
+	f := func(seed uint64) bool {
+		next := xorshift(seed)
+		hops := 1 + int(next(2))
+		route := make([]string, hops)
+		for i := range route {
+			route[i] = protocols[next(uint64(len(protocols)))]
+		}
+		cfg := fwd.DefaultConfig()
+		cfg.Reliable = true
+		cfg.PipelineDepth = 1 + int(next(8))
+		cfg.PathMTU = true
+		cfg.NetMTU = make(map[string]int)
+		tp := lineTopo(route)
+		for _, nw := range tp.Networks() {
+			cfg.NetMTU[nw.Name] = 8192 * (1 + int(next(7)))
+		}
+		cfg.MTU = 8192 * (1 + int(next(15)))
+		n := 1 + int(next(100_000))
+		w := buildQuiet(tp, cfg)
+
+		payload := pattern(n, byte(seed>>16))
+		var got []byte
+		w.sim.Spawn("s", func(p *vtime.Proc) {
+			px := w.vc.At("a").BeginPacking(p, "b")
+			px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+			px.EndPacking(p)
+		})
+		w.sim.Spawn("r", func(p *vtime.Proc) {
+			u := w.vc.At("b").BeginUnpacking(p)
+			got = make([]byte, n)
+			u.Unpack(p, got, mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+		})
+		if err := w.sim.Run(); err != nil {
+			t.Logf("seed %d (route %v, depth %d, n %d): %v",
+				seed, route, cfg.PipelineDepth, n, err)
+			return false
+		}
+		if !bytes.Equal(got, payload) {
+			t.Logf("seed %d (route %v, mtus %v, n %d): payload corrupted",
+				seed, route, cfg.NetMTU, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package fwd
 import (
 	"fmt"
 
+	"madgo/internal/hw"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
 	"madgo/internal/vtime"
@@ -11,24 +12,81 @@ import (
 
 // Gateway is the forwarding engine running on a node that bridges networks:
 // one polling thread per special channel, and for every relayed message a
-// receive/retransmit pipeline over a small ring of buffers (Figure 4).
+// receive/retransmit pipeline over a ring of pooled staging buffers
+// (Figure 4).
 type Gateway struct {
 	vc   *VirtualChannel
 	node *mad.Node
 	name string
 
+	// rings holds the persistent pipeline state, one per ingress network.
+	// Each ingress network has exactly one polling daemon and forward()
+	// relays messages to completion before returning to it, so a ring is
+	// only ever used by one message at a time.
+	rings map[string]*relayRing
+
 	// Relay statistics (diagnostics and tests).
 	messages int64
 	packets  int64
 	bytes    int64
+	stalls   int64
 
 	// eng is the node's reliability engine in reliable mode; the stat
 	// accessors read from it instead of the streaming counters.
 	eng *relEngine
 }
 
+// relayRing is the reusable pipeline state of one ingress network: the
+// free/full buffer channels the two threads rotate, the staging-buffer free
+// lists the ring is stocked from, and a scratch header. Keeping it across
+// messages makes steady-state relays allocation-free.
+type relayRing struct {
+	free *vsync.Chan[[]byte]
+	full *vsync.Chan[relayPacket]
+
+	pool   *bufPool            // dynamic staging buffers
+	stage  *bufPool            // copy-always ablation staging buffers
+	static map[string]*bufPool // per-egress-network driver static buffers
+
+	hdr [gtmHeaderLen]byte // GTM header scratch, one relay at a time
+}
+
 func newGateway(vc *VirtualChannel, node *mad.Node) *Gateway {
-	return &Gateway{vc: vc, node: node, name: node.Name}
+	return &Gateway{vc: vc, node: node, name: node.Name, rings: make(map[string]*relayRing)}
+}
+
+// ring returns (creating on first use) the pipeline ring of one ingress
+// network. The channel capacity is PipelineDepth: the ring can hold at most
+// one full rotation, so the receive thread can run at most depth packets
+// ahead of the send thread.
+func (g *Gateway) ring(inNet string) *relayRing {
+	if r, ok := g.rings[inNet]; ok {
+		return r
+	}
+	depth := g.vc.cfg.PipelineDepth
+	r := &relayRing{
+		free:   vsync.NewChan[[]byte](fmt.Sprintf("gwfree:%s:%s", g.name, inNet), depth),
+		full:   vsync.NewChan[relayPacket](fmt.Sprintf("gwfull:%s:%s", g.name, inNet), depth),
+		pool:   newBufPool(nil),
+		stage:  newBufPool(nil),
+		static: make(map[string]*bufPool),
+	}
+	g.rings[inNet] = r
+	return r
+}
+
+// staticPool returns the ring's free list of egress-driver static buffers
+// for one egress link, creating it with an AllocStatic-backed allocator on
+// first use.
+func (r *relayRing) staticPool(out *mad.Link, host *hw.Host) *bufPool {
+	name := out.Channel.Network().Name
+	if bp, ok := r.static[name]; ok {
+		return bp
+	}
+	drv := out.Channel.Driver()
+	bp := newBufPool(func(n int) []byte { return drv.AllocStatic(host, n).Data })
+	r.static[name] = bp
+	return bp
 }
 
 // start spawns the polling threads: one per special channel the gateway is
@@ -80,6 +138,25 @@ func (g *Gateway) Bytes() int64 {
 	return g.bytes
 }
 
+// Stalls returns how many times a receive thread of this gateway had to
+// wait for a free staging buffer — the pipeline bubbles a deeper ring
+// eliminates. Always zero in reliable mode.
+func (g *Gateway) Stalls() int64 { return g.stalls }
+
+// PoolStats aggregates the staging-buffer free-list counters over every
+// ring of this gateway.
+func (g *Gateway) PoolStats() PoolStats {
+	var s PoolStats
+	for _, r := range g.rings {
+		s.observe(r.pool)
+		s.observe(r.stage)
+		for _, bp := range r.static {
+			s.observe(bp)
+		}
+	}
+	return s
+}
+
 // Retransmits returns the number of per-hop packet retransmissions this
 // gateway's node performed. Always zero in streaming mode and on fault-free
 // reliable runs.
@@ -126,12 +203,16 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	in.AcquireRecv(p)
 	defer in.ReleaseRecv(p)
 
-	hdr := make([]byte, gtmHeaderLen)
+	r := g.ring(in.Channel.Network().Name)
+	hdr := r.hdr[:]
 	meta, _ := in.RecvInto(p, hdr)
 	if !meta.SOM || meta.Kind != mad.KindGTM || len(meta.Blocks) != 1 {
 		panic("fwd: malformed GTM header at gateway " + g.name)
 	}
-	_, dstRank, mtu, msgID := decodeGTMHeader(hdr)
+	_, dstRank, mtu, msgID, ok := decodeGTMHeader(hdr)
+	if !ok {
+		panic("fwd: malformed GTM header at gateway " + g.name)
+	}
 	dstName := vc.sess.Node(dstRank).Name
 	hop, ok := vc.tbl.NextHop(g.name, dstName)
 	if !ok {
@@ -153,7 +234,7 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	defer out.Release(p)
 	out.Send(p, mad.TxMeta{SOM: true, Kind: mad.KindGTM, Blocks: gtmHeaderDesc}, hdr)
 
-	g.pipeline(p, in, out, mtu)
+	g.pipeline(p, r, in, out, mtu)
 	g.messages++
 }
 
@@ -163,6 +244,7 @@ type relayPacket struct {
 	data []byte
 	desc []mad.BlockDesc
 	buf  []byte // ring buffer to recycle (nil in slot mode)
+	aux  []byte // pooled copy-always staging buffer, released after send
 	eom  bool
 }
 
@@ -179,7 +261,15 @@ type relayPacket struct {
 //   - both static: the posted receive falls back to a real copy out of the
 //     ingress slot — the unavoidable one;
 //   - both dynamic: packets land in plain pipeline buffers with no copy.
-func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
+//
+// Buffers come from the ring's free lists, not the allocator: the ring is
+// stocked from the pools at message start and drained back at message end,
+// so after the first message a relay allocates nothing. When the receive
+// thread has to wait for a free buffer — the send side is the bottleneck
+// and every buffer is in flight — the wait is recorded as a "stall" span,
+// which obs.AnalyzeLanes accounts to the lane's stall fraction; the deeper
+// the ring, the fewer such bubbles.
+func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu int) {
 	vc := g.vc
 	cfg := vc.cfg
 	tr := cfg.Tracer
@@ -195,22 +285,25 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 	egressStatic := out.NIC().StaticBuffers
 	slotMode := ingressStatic && !egressStatic && cfg.ZeroCopy
 
-	free := vsync.NewChan[[]byte](fmt.Sprintf("gwfree:%s", g.name), cfg.PipelineDepth)
-	full := vsync.NewChan[relayPacket](fmt.Sprintf("gwfull:%s", g.name), cfg.PipelineDepth)
+	// Stock the ring for this message's buffer-election mode.
+	var statics *bufPool
+	if egressStatic && cfg.ZeroCopy && !slotMode {
+		statics = r.staticPool(out, host)
+	}
 	for i := 0; i < cfg.PipelineDepth; i++ {
 		switch {
 		case slotMode:
-			free.TrySend(nil) // tokens only; data rides ingress slots
-		case egressStatic && cfg.ZeroCopy:
-			free.TrySend(out.Channel.Driver().AllocStatic(host, mtu).Data)
+			r.free.TrySend(nil) // tokens only; data rides ingress slots
+		case statics != nil:
+			r.free.TrySend(statics.get(mtu))
 		default:
-			free.TrySend(make([]byte, mtu))
+			r.free.TrySend(r.pool.get(mtu))
 		}
 	}
 
 	sender := vc.sess.Platform.Sim.Spawn(fmt.Sprintf("gwsend:%s:%s", g.name, outNet), func(sp *vtime.Proc) {
 		for {
-			pkt, _ := full.Recv(sp)
+			pkt, _ := r.full.Recv(sp)
 			if pkt.eom {
 				out.Send(sp, mad.TxMeta{Kind: mad.KindGTM, EOM: true}, nil)
 				return
@@ -218,22 +311,29 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 			t0 := sp.Now()
 			out.Send(sp, mad.TxMeta{Kind: mad.KindGTM, Blocks: pkt.desc}, pkt.data)
 			tr.Record(sendActor, "send", len(pkt.data), t0, sp.Now())
+			if pkt.aux != nil {
+				r.stage.put(pkt.aux)
+			}
 			t0 = sp.Now()
 			sp.Sleep(host.CPU.SwapOverhead)
 			tr.Record(sendActor, "swap", 0, t0, sp.Now())
 			m.ObserveDuration("madgo_gateway_swap_seconds", gwLabels, vtime.Since(sp.Now(), t0))
-			if !slotMode {
-				free.Send(sp, pkt.buf)
-			} else {
-				free.Send(sp, nil)
-			}
+			r.free.Send(sp, pkt.buf)
 		}
 	})
 
 	var lastRecvStart vtime.Time
 	first := true
 	for {
-		buf, _ := free.Recv(p)
+		t0 := p.Now()
+		buf, _ := r.free.Recv(p)
+		if wait := vtime.Since(p.Now(), t0); wait > 0 {
+			// Pipeline bubble: every staging buffer was in flight on the
+			// egress side and the receive thread had to wait.
+			g.stalls++
+			tr.Record(recvActor, "stall", 0, t0, p.Now())
+			m.ObserveDuration("madgo_gateway_stall_seconds", gwLabels, wait)
+		}
 		// Incoming-flow regulation (the paper's proposed future work):
 		// space receive starts to at most InflowLimit bytes/s.
 		if cfg.InflowLimit > 0 && !first {
@@ -246,7 +346,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 		first = false
 
 		var pkt relayPacket
-		t0 := p.Now()
+		t0 = p.Now()
 		if slotMode {
 			meta, slot := in.Recv(p)
 			if meta.EOM {
@@ -264,12 +364,15 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 					// Copy-always ablation: stage through an
 					// extra buffer like a forwarding layer
 					// naively placed above Madeleine would.
-					stage := make([]byte, n)
+					stage := r.stage.get(n)
 					host.Memcpy(p, n)
 					copy(stage, data)
+					pkt.aux = stage
 					data = stage
 				}
-				pkt = relayPacket{data: data, desc: meta.Blocks, buf: buf}
+				pkt.data = data
+				pkt.desc = meta.Blocks
+				pkt.buf = buf
 			}
 		}
 		if !pkt.eom {
@@ -283,10 +386,31 @@ func (g *Gateway) pipeline(p *vtime.Proc, in, out *mad.Link, mtu int) {
 			tr.Record(recvActor, "swap", 0, t0, p.Now())
 			m.ObserveDuration("madgo_gateway_swap_seconds", gwLabels, vtime.Since(p.Now(), t0))
 		}
-		full.Send(p, pkt)
+		r.full.Send(p, pkt)
 		if pkt.eom {
+			// The buffer taken for the terminator was never handed to the
+			// sender; recycle it directly so the drain below sees the
+			// whole ring.
+			r.free.TrySend(buf)
 			break
 		}
 	}
 	p.Join(sender)
+
+	// Drain the ring back into this mode's free list so the next message —
+	// possibly with a different MTU or egress — restocks cleanly.
+	for {
+		b, ok := r.free.TryRecv()
+		if !ok {
+			break
+		}
+		switch {
+		case slotMode:
+			// nil tokens, nothing to recycle
+		case statics != nil:
+			statics.put(b)
+		default:
+			r.pool.put(b)
+		}
+	}
 }

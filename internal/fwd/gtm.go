@@ -46,14 +46,24 @@ func encodeGTMHeader(src, dst mad.Rank, mtu int, id uint64) []byte {
 	return hdr
 }
 
-func decodeGTMHeader(hdr []byte) (src, dst mad.Rank, mtu int, id uint64) {
+// decodeGTMHeader parses a GTM message header. It never panics on
+// malformed input: ok is false when the header is not exactly
+// gtmHeaderLen bytes or carries an unusable (zero) MTU — the fuzz targets
+// pin this down, since the header crosses the wire and a corrupted length
+// or MTU must not take down a gateway.
+func decodeGTMHeader(hdr []byte) (src, dst mad.Rank, mtu int, id uint64, ok bool) {
 	if len(hdr) != gtmHeaderLen {
-		panic(fmt.Sprintf("fwd: GTM header of %d bytes", len(hdr)))
+		return 0, 0, 0, 0, false
+	}
+	mtu = int(binary.LittleEndian.Uint32(hdr[8:]))
+	if mtu <= 0 {
+		return 0, 0, 0, 0, false
 	}
 	return mad.Rank(binary.LittleEndian.Uint32(hdr[0:])),
 		mad.Rank(binary.LittleEndian.Uint32(hdr[4:])),
-		int(binary.LittleEndian.Uint32(hdr[8:])),
-		binary.LittleEndian.Uint64(hdr[12:])
+		mtu,
+		binary.LittleEndian.Uint64(hdr[12:]),
+		true
 }
 
 var gtmHeaderDesc = []mad.BlockDesc{{Size: gtmHeaderLen, S: mad.SendCheaper, R: mad.ReceiveExpress}}
@@ -71,7 +81,8 @@ type gtmPacking struct {
 }
 
 func newGTMPacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, link *mad.Link, finalDst mad.Rank) *gtmPacking {
-	g := &gtmPacking{vc: vc, node: node, link: link, mtu: vc.cfg.MTU, id: vc.nextMsgID()}
+	mtu := vc.PathMTU(node.Name, vc.sess.Node(finalDst).Name)
+	g := &gtmPacking{vc: vc, node: node, link: link, mtu: mtu, id: vc.nextMsgID()}
 	link.Acquire(p)
 	link.Send(p, mad.TxMeta{SOM: true, Kind: mad.KindGTM, Blocks: gtmHeaderDesc},
 		encodeGTMHeader(node.Rank, finalDst, g.mtu, g.id))
@@ -124,7 +135,10 @@ func newGTMUnpacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, a *mad.A
 	if !meta.SOM || meta.Kind != mad.KindGTM {
 		panic("fwd: GTM unpacking of a message without a GTM header")
 	}
-	src, dst, mtu, id := decodeGTMHeader(hdr)
+	src, dst, mtu, id, ok := decodeGTMHeader(hdr)
+	if !ok {
+		panic("fwd: malformed GTM header delivered to " + node.Name)
+	}
 	if dst != node.Rank {
 		panic(fmt.Sprintf("fwd: misrouted message: %s received a message for rank %d", node.Name, dst))
 	}

@@ -2,8 +2,24 @@ package fwd
 
 import (
 	"madgo/internal/hw"
+	"madgo/internal/route"
 	"madgo/internal/vtime"
 )
+
+// MTUForRoute returns the per-path MTU of one route: the minimum of the
+// per-network MTUs over every hop the route crosses. This is the §2.3
+// negotiation — a connexion's packet size must fit the most constrained
+// network it traverses, and no other.
+func MTUForRoute(r route.Route, netMTU func(string) int) int {
+	min := 0
+	for _, hop := range r {
+		m := netMTU(hop.Network)
+		if min == 0 || m < min {
+			min = m
+		}
+	}
+	return min
+}
 
 // SuggestMTU formalizes the paper's §3.2.2 packet-size analysis: "the size
 // of those fragments is defined so that each network is able to send them

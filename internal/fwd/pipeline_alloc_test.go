@@ -1,0 +1,64 @@
+package fwd_test
+
+import (
+	"testing"
+
+	"madgo/internal/fwd"
+	"madgo/internal/mad"
+)
+
+// Steady-state relays must not touch the allocator: after the first message
+// warms a ring's free list, every further message restocks from the pool
+// (Gets keeps growing) without a single additional allocation (Misses stays
+// at the warmup level). The copy-always ablation is the stress case — it
+// runs both the staging-buffer pool and the per-packet stage pool.
+func TestGatewayRelayWarmPoolNoNewAllocations(t *testing.T) {
+	for _, zc := range []bool{true, false} {
+		name := "zerocopy"
+		if !zc {
+			name = "copy-always"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := fwd.DefaultConfig()
+			cfg.PipelineDepth = 4
+			cfg.ZeroCopy = zc
+			w := build(t, paperHS(t), cfg)
+			gw := w.vc.Gateway("gw")
+			payload := pattern(300_000, 7)
+
+			relay := func() {
+				got, fwded, _ := sendRecv(t, w, "b1", "a1",
+					[]block{{payload, mad.SendCheaper, mad.ReceiveCheaper}})
+				if !fwded {
+					t.Fatal("message was not forwarded")
+				}
+				if len(got[0]) != len(payload) {
+					t.Fatalf("short delivery: %d of %d", len(got[0]), len(payload))
+				}
+			}
+
+			relay() // warmup: stocks the ring, pays the only misses
+			warm := gw.PoolStats()
+			if warm.Misses == 0 {
+				t.Fatal("warmup produced no pool misses; the relay is not using the pools")
+			}
+			const extra = 5
+			for i := 0; i < extra; i++ {
+				relay()
+			}
+			after := gw.PoolStats()
+			if after.Misses != warm.Misses {
+				t.Fatalf("steady-state relays allocated: misses %d -> %d",
+					warm.Misses, after.Misses)
+			}
+			if after.Gets <= warm.Gets {
+				t.Fatalf("pool not exercised after warmup: gets %d -> %d",
+					warm.Gets, after.Gets)
+			}
+			if after.Gets != after.Puts {
+				t.Fatalf("ring leaked staging buffers: gets %d != puts %d",
+					after.Gets, after.Puts)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package fwd
+
+// Staging-buffer pooling for the gateway pipeline.
+//
+// Every relayed message rotates PipelineDepth staging buffers between the
+// receive and the send thread. Allocating them per message (let alone per
+// packet) puts the allocator on the forwarding hot path; instead each
+// gateway keeps, per ingress network, a free list the ring is stocked from
+// at message start and drained back into at message end. Steady-state
+// relays then touch the allocator only on the very first message (the
+// warmup misses), which the allocation-regression tests pin down.
+//
+// The pools are deliberately unsynchronized: the simulation scheduler is
+// single-threaded and each pool is owned by exactly one ingress network's
+// forwarding engine, so there is nothing to race with.
+
+// bufPool is a LIFO free list of byte buffers with capacity-class reuse: get
+// returns any pooled buffer whose capacity covers the request, sliced to the
+// requested length, and only falls back to alloc when none fits.
+type bufPool struct {
+	bufs  [][]byte
+	alloc func(n int) []byte
+
+	gets   int64
+	puts   int64
+	misses int64
+}
+
+// newBufPool creates a pool backed by the given allocator (called only on
+// misses). A nil allocator defaults to make.
+func newBufPool(alloc func(n int) []byte) *bufPool {
+	if alloc == nil {
+		alloc = func(n int) []byte { return make([]byte, n) }
+	}
+	return &bufPool{alloc: alloc}
+}
+
+// get returns a buffer of length n, reusing the most recently returned one
+// that is large enough.
+func (bp *bufPool) get(n int) []byte {
+	bp.gets++
+	for i := len(bp.bufs) - 1; i >= 0; i-- {
+		b := bp.bufs[i]
+		if cap(b) < n {
+			continue
+		}
+		last := len(bp.bufs) - 1
+		bp.bufs[i] = bp.bufs[last]
+		bp.bufs[last] = nil
+		bp.bufs = bp.bufs[:last]
+		return b[:n]
+	}
+	bp.misses++
+	return bp.alloc(n)
+}
+
+// put returns a buffer to the pool. Nil buffers are ignored so slot-mode
+// tokens can be recycled unconditionally.
+func (bp *bufPool) put(b []byte) {
+	if b == nil {
+		return
+	}
+	bp.puts++
+	bp.bufs = append(bp.bufs, b[:cap(b)])
+}
+
+// PoolStats aggregates the free-list counters of one gateway: how many
+// staging buffers were requested, returned, and actually allocated. On a
+// steady-state relay Misses stays at the warmup level (one ring's worth per
+// buffer mode) while Gets keeps growing.
+type PoolStats struct {
+	Gets   int64
+	Puts   int64
+	Misses int64
+}
+
+func (s *PoolStats) observe(bp *bufPool) {
+	s.Gets += bp.gets
+	s.Puts += bp.puts
+	s.Misses += bp.misses
+}

@@ -268,6 +268,12 @@ func decodeRelDesc(b []byte) (mtu int, desc []mad.BlockDesc, ok bool) {
 		return 0, nil, false
 	}
 	mtu = int(binary.LittleEndian.Uint32(b[0:]))
+	if mtu <= 0 {
+		// A zero MTU from the wire would drive the receiver's
+		// per-fragment loop with a degenerate step — reject it here,
+		// like any other malformed descriptor (found by FuzzRelDesc).
+		return 0, nil, false
+	}
 	n := int(binary.LittleEndian.Uint32(b[4:]))
 	if len(b) != 8+6*n {
 		return 0, nil, false
@@ -455,7 +461,11 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 // EndPacking).
 func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id uint64) {
 	pol := e.pol
-	mtu := e.vc.cfg.MTU
+	// Per-path MTU: fragment at the most constrained network of the
+	// primary route. The descriptor carries the chosen size, so the
+	// receiver reassembles correctly even if failover later moves packets
+	// onto a different path.
+	mtu := e.vc.PathMTU(e.node.Name, dst)
 
 	payloads := [][]byte{encodeRelDesc(mtu, blocks)}
 	for _, b := range blocks {

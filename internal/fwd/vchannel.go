@@ -28,6 +28,17 @@ type Config struct {
 	// ZeroCopy enables the §2.3 buffer election on gateways. When false
 	// every relayed packet pays an explicit staging copy (ablation A3).
 	ZeroCopy bool
+	// PathMTU switches packet-size selection from channel-global to
+	// per-path: every message is fragmented at the minimum MTU over the
+	// networks its route traverses (§2.3 — "the MTU of a connexion is
+	// defined as the [minimum] of the MTU of each network used"), so
+	// traffic between nodes on a large-MTU network is no longer cut down
+	// to the smallest network anywhere in the configuration.
+	PathMTU bool
+	// NetMTU gives per-network packet-size caps for the PathMTU
+	// negotiation; networks absent from the map default to MTU. Only
+	// consulted when PathMTU is set.
+	NetMTU map[string]int
 	// InflowLimit, when positive (bytes/s), throttles each gateway
 	// forwarder's receive loop to that rate — the "sophisticated
 	// bandwidth control mechanism [to] regulate the incoming
@@ -68,6 +79,11 @@ func (c Config) validate() error {
 	}
 	if c.InflowLimit < 0 {
 		return fmt.Errorf("fwd: negative InflowLimit")
+	}
+	for name, m := range c.NetMTU {
+		if m <= 0 {
+			return fmt.Errorf("fwd: NetMTU[%s] must be positive, got %d", name, m)
+		}
 	}
 	if c.FallbackTopo != nil && !c.Reliable {
 		return fmt.Errorf("fwd: FallbackTopo requires Reliable")
@@ -116,6 +132,47 @@ type VirtualChannel struct {
 	// message crosses records provenance hops under its ID. Deterministic:
 	// the simulation is single-threaded, so pack order fixes the sequence.
 	msgSeq uint64
+
+	// pathMTUs caches the negotiated per-pair packet size (PathMTU mode).
+	pathMTUs map[[2]string]int
+}
+
+// netMTU returns the packet-size cap of one network under the PathMTU
+// negotiation.
+func (vc *VirtualChannel) netMTU(name string) int {
+	if m, ok := vc.cfg.NetMTU[name]; ok {
+		return m
+	}
+	return vc.cfg.MTU
+}
+
+// PathMTU returns the packet size used for messages from src to dst: the
+// channel-global MTU normally, or — with Config.PathMTU — the minimum
+// network MTU along the src→dst route, as §2.3 prescribes for a connexion
+// spanning several networks. Routes and MTUs are static, so the result is
+// cached per ordered pair.
+func (vc *VirtualChannel) PathMTU(src, dst string) int {
+	if !vc.cfg.PathMTU || src == dst {
+		return vc.cfg.MTU
+	}
+	key := [2]string{src, dst}
+	if m, ok := vc.pathMTUs[key]; ok {
+		return m
+	}
+	// Nodes outside the primary topology (reliable-mode fallback nodes)
+	// keep the global MTU: the routing table only covers the primary.
+	if _, ok := vc.tp.Node(src); !ok {
+		return vc.cfg.MTU
+	}
+	if _, ok := vc.tp.Node(dst); !ok {
+		return vc.cfg.MTU
+	}
+	m := vc.cfg.MTU
+	if r, ok := vc.tbl.Lookup(src, dst); ok {
+		m = MTUForRoute(r, vc.netMTU)
+	}
+	vc.pathMTUs[key] = m
+	return m
 }
 
 // nextMsgID issues the next channel-global message ID (IDs start at 1 so 0
@@ -172,6 +229,8 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 		nodes:   make(map[string]*mad.Node),
 		merged:  make(map[mad.Rank]*vsync.Chan[incoming]),
 		gates:   make(map[string]*Gateway),
+
+		pathMTUs: make(map[[2]string]int),
 	}
 	for _, n := range buildTopo.Nodes() {
 		vc.nodes[n.Name] = sess.AddNode(n.Name)

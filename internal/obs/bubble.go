@@ -11,8 +11,9 @@ import (
 
 // Lane is the busy/stall/idle decomposition of one actor's activity over an
 // analysis window — the pipeline-bubble accounting of §3.3.1. Busy covers
-// useful work (recv/send/...), Stall covers buffer switches ("swap" spans),
-// Idle is the remainder. SteadyPeriod is the mean start-to-start interval of
+// useful work (recv/send/...), Stall covers time lost to the pipeline
+// machinery itself: buffer switches ("swap" spans) and waits for a free
+// staging buffer ("stall" spans), Idle is the remainder. SteadyPeriod is the mean start-to-start interval of
 // the lane's dominant op with the fill and drain iterations dropped — the
 // steady-state pipeline period.
 type Lane struct {
@@ -48,7 +49,7 @@ func AnalyzeLanes(tr *trace.Tracer, t0, t1 vtime.Time) []Lane {
 			}
 			n++
 			opCount[s.Op]++
-			if s.Op == "swap" {
+			if s.Op == "swap" || s.Op == "stall" {
 				stall = append(stall, iv)
 			} else {
 				busy = append(busy, iv)
@@ -138,7 +139,7 @@ func coverage(ivs []ival) vtime.Duration {
 }
 
 // dominantOp picks the op with the most spans, preferring useful work over
-// swaps and breaking ties alphabetically for determinism.
+// swaps and stalls and breaking ties alphabetically for determinism.
 func dominantOp(counts map[string]int) string {
 	best, bestN := "", -1
 	ops := make([]string, 0, len(counts))
@@ -148,7 +149,7 @@ func dominantOp(counts map[string]int) string {
 	sort.Strings(ops)
 	for _, op := range ops {
 		n := counts[op]
-		if op == "swap" && len(counts) > 1 {
+		if (op == "swap" || op == "stall") && len(counts) > 1 {
 			continue
 		}
 		if n > bestN {

@@ -159,6 +159,14 @@ type Options struct {
 	// PipelineDepth is the number of buffers each gateway pipeline
 	// rotates (default 2, the paper's double buffering).
 	PipelineDepth int
+	// PathMTU switches packet-size selection from channel-global to
+	// per-path: each message is fragmented at the minimum MTU over the
+	// networks its route traverses (see NetworkMTU).
+	PathMTU bool
+	// NetworkMTU maps network names to their packet-size caps for the
+	// per-path negotiation; networks absent from the map use MTU. A
+	// non-empty map implies PathMTU.
+	NetworkMTU map[string]int
 	// DisableZeroCopy turns off the §2.3 buffer election (every relayed
 	// packet pays a staging copy).
 	DisableZeroCopy bool
@@ -203,6 +211,24 @@ func WithAutoMTU() Option { return func(o *Options) { o.AutoMTU = true } }
 
 // WithPipelineDepth sets the gateway buffer count.
 func WithPipelineDepth(n int) Option { return func(o *Options) { o.PipelineDepth = n } }
+
+// WithPathMTU enables per-path MTU negotiation: every message is
+// fragmented at the minimum MTU over the networks its route actually
+// traverses (the §2.3 rule), instead of one channel-global packet size.
+// Combine with WithNetworkMTU to declare per-network caps; networks
+// without one use the WithMTU value.
+func WithPathMTU() Option { return func(o *Options) { o.PathMTU = true } }
+
+// WithNetworkMTU caps one network's packet size for the per-path MTU
+// negotiation (implies WithPathMTU).
+func WithNetworkMTU(network string, bytes int) Option {
+	return func(o *Options) {
+		if o.NetworkMTU == nil {
+			o.NetworkMTU = make(map[string]int)
+		}
+		o.NetworkMTU[network] = bytes
+	}
+}
 
 // WithoutZeroCopy disables the gateway buffer election.
 func WithoutZeroCopy() Option { return func(o *Options) { o.DisableZeroCopy = true } }
@@ -324,6 +350,8 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 	cfg := fwd.Config{
 		MTU:           o.MTU,
 		PipelineDepth: o.PipelineDepth,
+		PathMTU:       o.PathMTU || len(o.NetworkMTU) > 0,
+		NetMTU:        o.NetworkMTU,
 		ZeroCopy:      !o.DisableZeroCopy,
 		InflowLimit:   o.InflowLimit,
 		Tracer:        o.Tracer,
@@ -392,6 +420,7 @@ type GatewayStats struct {
 	Messages    int64 // messages relayed
 	Packets     int64 // packets relayed
 	Bytes       int64 // payload bytes relayed
+	Stalls      int64 // receive-thread waits for a free staging buffer
 	Retransmits int64 // per-hop packet retransmissions performed
 	Failovers   int64 // times a neighbour was presumed dead and rerouted around
 }
@@ -407,6 +436,7 @@ func (s *System) GatewayStats(name string) (GatewayStats, bool) {
 		Messages:    g.Messages(),
 		Packets:     g.Packets(),
 		Bytes:       g.Bytes(),
+		Stalls:      g.Stalls(),
 		Retransmits: g.Retransmits(),
 		Failovers:   g.Failovers(),
 	}, true

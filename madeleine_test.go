@@ -159,14 +159,14 @@ func TestDeadlockSurfacesAsError(t *testing.T) {
 
 func TestExperimentsExposed(t *testing.T) {
 	exps := madeleine.Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"fig6", "fig7", "t1", "headline", "o1", "r1"} {
+	for _, want := range []string{"fig6", "fig7", "t1", "headline", "o1", "p1", "r1"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
