@@ -2,9 +2,9 @@ GO ?= go
 COVER_MIN ?= 85
 FWD_COVER_MIN ?= 80
 FUZZTIME ?= 30s
-FUZZ_TARGETS = FuzzGTMHeader FuzzRelData FuzzRelAck FuzzRelDesc
+FUZZ_TARGETS = FuzzGTMHeader FuzzStripeHeader FuzzRelData FuzzRelAck FuzzRelDesc
 
-.PHONY: check build vet test race bench cover fuzz
+.PHONY: check build vet test race bench cover fuzz stripe-gate
 
 check: build vet race cover
 
@@ -24,6 +24,15 @@ bench:
 	$(GO) test -bench . -benchmem
 	$(GO) run ./cmd/madbench -json o1 > BENCH_o1.json
 	$(GO) run ./cmd/madbench -json p1 > BENCH_p1.json
+	$(GO) run ./cmd/madbench -json s1 > BENCH_s1.json
+
+# stripe-gate archives the striping sweep and fails unless K=2 goodput on
+# the dual-rail topology is >= 1.5x the K=1 baseline at 64-128 KB. The
+# simulation is deterministic, so the gate test reruns the exact sweep the
+# JSON archive came from.
+stripe-gate:
+	$(GO) run ./cmd/madbench -json s1 > BENCH_s1.json
+	$(GO) test ./internal/bench -run '^TestS1StripeSpeedupGate$$' -v
 
 # fuzz smokes every wire-codec fuzz target for FUZZTIME each (go test
 # accepts a single -fuzz pattern per invocation, hence the loop). CI runs

@@ -9,7 +9,8 @@
 //	madbench -quick -csv fig6     # trimmed sweep, CSV output
 //
 // Experiment ids follow DESIGN.md: t1, fig6, fig7, t2, t3, fig5, fig8,
-// headline, a1..a5, o1 (observed stream), p1 (pipeline depth sweep).
+// headline, a1..a5, o1 (observed stream), p1 (pipeline depth sweep), r1
+// (reliable goodput under loss), s1 (multi-rail striping K sweep).
 package main
 
 import (
@@ -28,9 +29,10 @@ func main() {
 		csv   = flag.Bool("csv", false, "CSV output instead of tables")
 		plot  = flag.Bool("plot", false, "ASCII charts instead of tables")
 		jsonF = flag.Bool("json", false, "JSON output instead of tables")
+		rails = flag.Int("rails", 0, "maximum stripe width the striping experiments sweep (0 = default)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: madbench [-list] [-all] [-quick] [-csv] [-plot] [-json] [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "usage: madbench [-list] [-all] [-quick] [-csv] [-plot] [-json] [-rails k] [experiment ids...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,7 +51,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := bench.Options{Quick: *quick}
+	opts := bench.Options{Quick: *quick, Rails: *rails}
 	for _, id := range ids {
 		e, ok := bench.Lookup(id)
 		if !ok {

@@ -10,6 +10,7 @@
 //	madping -depth 4                          # deeper gateway pipeline ring
 //	madping -netmtu sci0=65536,myri0=32768    # per-path MTU negotiation
 //	madping -loss 0.05 -seed 42               # goodput under 5% packet loss
+//	madping -rails 2                          # stripe across two disjoint routes
 //
 // The topology file uses the format of cmd/madtopo; when -config is absent
 // the paper's SCI+Myrinet testbed is used.
@@ -33,6 +34,7 @@ func main() {
 		sizes  = flag.String("sizes", "4096,16384,65536,262144,1048576,4194304", "comma-separated message sizes in bytes")
 		mtu    = flag.Int("mtu", 32*1024, "forwarding packet size")
 		depth  = flag.Int("depth", 2, "gateway pipeline depth (1 disables pipelining)")
+		rails  = flag.Int("rails", 1, "stripe large messages across up to this many link-disjoint routes")
 		netmtu = flag.String("netmtu", "", "per-network MTU caps as name=bytes[,name=bytes...]; switches on path-MTU negotiation")
 
 		seed     = flag.Int64("seed", 1, "fault-injection seed")
@@ -43,6 +45,9 @@ func main() {
 	flag.Parse()
 
 	opts := []madeleine.Option{madeleine.WithPipelineDepth(*depth)}
+	if *rails > 1 {
+		opts = append(opts, madeleine.WithStriping(*rails))
+	}
 	if *netmtu != "" {
 		for _, kv := range strings.Split(*netmtu, ",") {
 			name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
@@ -127,6 +132,10 @@ func main() {
 	for _, g := range sys.Gateways() {
 		gs, _ := sys.GatewayStats(g)
 		fmt.Printf("gateway %s relayed %d messages / %d packets / %d bytes\n", g, gs.Messages, gs.Packets, gs.Bytes)
+	}
+	if st := sys.StripeStats(); st.Messages > 0 {
+		fmt.Printf("striping: %d messages across %d rails, %d rebalances, %d rail failovers\n",
+			st.Messages, len(st.RailBytes), st.Rebalances, st.RailFailovers)
 	}
 	if ds := sys.DeliveryStats(); ds != (madeleine.DeliveryStats{}) {
 		fmt.Printf("recovery: %d retransmits, %d message resends, %d failovers, %d checksum drops, %d duplicates\n",

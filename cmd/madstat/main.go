@@ -11,12 +11,14 @@
 //	madstat -loss 0.1 -seed 7        # reliable delivery under 10% packet loss
 //	madstat -chrome run.json         # write a Perfetto-loadable trace file
 //	madstat -config cluster.topo -from x -to y -bytes 1048576
+//	madstat -rails 2                 # multi-rail striping with per-rail breakdown
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 
 	madeleine "madgo"
@@ -29,6 +31,7 @@ func main() {
 		to     = flag.String("to", "b1", "destination node")
 		bytes  = flag.Int("bytes", 256*1024, "message size")
 		mtu    = flag.Int("mtu", 32*1024, "forwarding packet size")
+		rails  = flag.Int("rails", 1, "stripe large messages across up to this many link-disjoint routes")
 
 		seed    = flag.Int64("seed", 1, "fault-injection seed")
 		loss    = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
@@ -46,6 +49,9 @@ func main() {
 	m := madeleine.NewMetrics()
 	opts := []madeleine.Option{
 		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr), madeleine.WithMetrics(m),
+	}
+	if *rails > 1 {
+		opts = append(opts, madeleine.WithStriping(*rails))
 	}
 	if *loss > 0 || *corrupt > 0 || *crash > 0 {
 		plan := madeleine.NewFaultPlan(*seed)
@@ -94,6 +100,23 @@ func main() {
 
 	if !*noProm {
 		sys.WritePrometheus(os.Stdout)
+	}
+	if st := sys.StripeStats(); st.Messages > 0 {
+		fmt.Printf("\nstriping: %d messages, %d rebalances, %d rail failovers\n",
+			st.Messages, st.Rebalances, st.RailFailovers)
+		var total int64
+		for _, b := range st.RailBytes {
+			total += b
+		}
+		idx := make([]int, 0, len(st.RailBytes))
+		for i := range st.RailBytes {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		for _, i := range idx {
+			b := st.RailBytes[i]
+			fmt.Printf("  rail %d: %d bytes (%.1f%%)\n", i, b, 100*float64(b)/float64(total))
+		}
 	}
 	if *lanes {
 		fmt.Printf("\npipeline lanes over [0, %v):\n", madeleine.Duration(sys.Now()))

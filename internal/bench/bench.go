@@ -19,6 +19,9 @@ type Options struct {
 	// whole registry runs in well under a second — used by tests and
 	// -short benchmarks. Full sweeps match the paper's axes.
 	Quick bool
+	// Rails raises the maximum stripe width the striping experiments
+	// sweep (s1 compares K=1..Rails; 0 means the default of 2).
+	Rails int
 }
 
 // Point is one measurement: X in the experiment's x-unit (usually message

@@ -12,7 +12,7 @@ import (
 var quick = Options{Quick: true}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "o1", "p1", "r1"}
+	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "o1", "p1", "r1", "s1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry = %v", ids)
@@ -335,9 +335,18 @@ func mustRun(t *testing.T, id string, o Options) *Result {
 // reliable run of the paper transfer performs zero recovery work, so the
 // r1 zero-loss row doubles as a regression check on the protocol overhead.
 func TestReliableBenchFaultFree(t *testing.T) {
-	_, ds := reliableStream("a1", "b1", 256*kb, nil)
+	_, ds, acks := reliableStream("a1", "b1", 256*kb, nil)
 	if ds != (fwd.DeliveryStats{}) {
 		t.Errorf("fault-free reliable stream recovered: %+v", ds)
+	}
+	// Ack coalescing and piggybacking must keep control datagrams well
+	// below one per acknowledged packet: every coalesced entry is an ack
+	// that did not become its own datagram.
+	if acks.Packets == 0 {
+		t.Error("reliable stream sent no acknowledgement datagrams")
+	}
+	if acks.Coalesced == 0 {
+		t.Errorf("no acks coalesced over a 256 KB stream: %+v", acks)
 	}
 	e, ok := Lookup("r1")
 	if !ok {
@@ -350,6 +359,30 @@ func TestReliableBenchFaultFree(t *testing.T) {
 	for _, note := range r.Notes {
 		if strings.HasPrefix(note, "WARNING") {
 			t.Errorf("r1 flagged recovery on a fault-free run: %s", note)
+		}
+	}
+}
+
+// TestS1StripeSpeedupGate is the CI gate for multi-rail striping: on the
+// dual-rail topology (Myrinet/BIP + DMA-engine SCI) K=2 goodput must be at
+// least 1.5x the K=1 baseline from the same deterministic run, at both 64
+// and 128 KB. The BENCH_s1.json archive `make bench` produces comes from
+// the identical sweep, so gating the test gates the archive.
+func TestS1StripeSpeedupGate(t *testing.T) {
+	r := mustRun(t, "s1", Options{}) // full sweep: the gated sizes are not in quick
+	for _, n := range []float64{64 * kb, 128 * kb} {
+		one, two := r.YAt("K=1", n), r.YAt("K=2", n)
+		if one == 0 || two == 0 {
+			t.Fatalf("s1 missing a goodput point at %.0f bytes (K=1 %.1f, K=2 %.1f)", n, one, two)
+		}
+		if ratio := two / one; ratio < 1.5 {
+			t.Errorf("K=2 goodput %.1f MB/s is only %.2fx the K=1 baseline %.1f MB/s at %.0f KB, gate is 1.5x",
+				two, ratio, one, n/kb)
+		}
+	}
+	for _, note := range r.Notes {
+		if strings.HasPrefix(note, "WARNING") {
+			t.Errorf("s1 flagged: %s", note)
 		}
 	}
 }

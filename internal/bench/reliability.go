@@ -22,8 +22,8 @@ func init() {
 
 // reliableStream builds the restricted paper testbed in reliable mode with
 // the given fault plan armed, streams n bytes src→dst, and returns the
-// one-way duration plus the recovery statistics.
-func reliableStream(src, dst string, n int, plan *fault.Plan) (vtime.Duration, fwd.DeliveryStats) {
+// one-way duration plus the recovery and acknowledgement statistics.
+func reliableStream(src, dst string, n int, plan *fault.Plan) (vtime.Duration, fwd.DeliveryStats, fwd.AckStats) {
 	tp := topo.PaperTestbed()
 	hs, err := tp.Restrict("sci0", "myri0")
 	if err != nil {
@@ -65,7 +65,7 @@ func reliableStream(src, dst string, n int, plan *fault.Plan) (vtime.Duration, f
 	if err := sim.Run(); err != nil {
 		panic(err)
 	}
-	return vtime.Duration(done), vc.DeliveryStats()
+	return vtime.Duration(done), vc.DeliveryStats(), vc.AckStats()
 }
 
 func runR1(o Options) *Result {
@@ -84,7 +84,7 @@ func runR1(o Options) *Result {
 		if rate > 0 {
 			plan = fault.NewPlan(42).Drop("*", rate)
 		}
-		d, ds := reliableStream("a1", "b1", n, plan)
+		d, ds, _ := reliableStream("a1", "b1", n, plan)
 		s.Points = append(s.Points, Point{X: rate, Y: mbps(n, d)})
 		r.Table = append(r.Table, []string{
 			fmt.Sprintf("%.2f", rate),

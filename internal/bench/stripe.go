@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"madgo/internal/drivers/sisci"
+	"madgo/internal/fwd"
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/vtime"
+)
+
+func init() {
+	register(&Experiment{
+		ID:          "s1",
+		Title:       "Multi-rail striping goodput, K=1 vs K=2",
+		Description: "8-128 KB transfers over the dual-rail topology (Myrinet/BIP + DMA-engine SCI between the same node pair), swept over stripe width K; K=2 goodput must approach the sum of the rails rather than the max.",
+		Run:         runS1,
+	})
+}
+
+// dualRailTopo joins one node pair with both high-speed networks: two
+// direct, fully link-disjoint rails.
+func dualRailTopo() *topo.Topology {
+	tp, err := topo.NewBuilder().
+		Network("myri0", "myrinet").
+		Network("sci0", "sci").
+		Node("a", "myri0", "sci0").
+		Node("b", "myri0", "sci0").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return tp
+}
+
+// stripedStream streams n bytes a→b over the dual-rail topology with stripe
+// width k and returns the one-way duration plus the striping counters. The
+// SCI rail runs on the board's DMA engine — the paper's §3.4.1 workaround —
+// because a PIO SCI send is demoted 0.5x while the Myrinet rail's DMA holds
+// the shared PCI bus, which caps concurrent two-rail transmission well below
+// the sum of the rails.
+func stripedStream(k, n int) (vtime.Duration, fwd.StripeStats) {
+	tp := dualRailTopo()
+	sim := vtime.New()
+	pl := hw.NewPlatform(sim)
+	sess := mad.NewSession(pl)
+	bindings := make(map[string]fwd.Binding)
+	for _, nw := range tp.Networks() {
+		var drv mad.Driver = driverFor(nw.Protocol)
+		if nw.Protocol == "sci" {
+			drv = sisci.NewDMA()
+		}
+		bindings[nw.Name] = fwd.Binding{Net: pl.NewNetwork(nw.Name, drv.NIC()), Drv: drv}
+	}
+	cfg := fwd.DefaultConfig()
+	cfg.StripeK = k
+	vc, err := fwd.Build(sess, tp, bindings, cfg)
+	if err != nil {
+		panic(err)
+	}
+	var done vtime.Time
+	payload := make([]byte, n)
+	sim.Spawn("stream:a", func(p *vtime.Proc) {
+		px := vc.At("a").BeginPacking(p, "b")
+		px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sim.Spawn("drain:b", func(p *vtime.Proc) {
+		u := vc.At("b").BeginUnpacking(p)
+		u.Unpack(p, make([]byte, n), mad.SendCheaper, mad.ReceiveCheaper)
+		u.EndUnpacking(p)
+		done = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		panic(err)
+	}
+	return vtime.Duration(done), vc.StripeStats()
+}
+
+func runS1(o Options) *Result {
+	sizes := []int{8 * kb, 16 * kb, 32 * kb, 64 * kb, 128 * kb}
+	if o.Quick {
+		sizes = []int{16 * kb, 64 * kb, 128 * kb}
+	}
+	maxK := o.Rails
+	if maxK < 2 {
+		maxK = 2
+	}
+	r := &Result{
+		ID: "s1", Title: "striped goodput over the dual-rail testbed (DMA SCI + Myrinet), a→b",
+		XLabel: "message bytes", YLabel: "MB/s",
+	}
+	goodput := map[int]map[int]float64{} // k → size → MB/s
+	for k := 1; k <= maxK; k++ {
+		s := Series{Name: fmt.Sprintf("K=%d", k)}
+		goodput[k] = map[int]float64{}
+		for _, n := range sizes {
+			d, st := stripedStream(k, n)
+			g := mbps(n, d)
+			goodput[k][n] = g
+			s.Points = append(s.Points, Point{X: float64(n), Y: g})
+			if k == 1 && st.Messages != 0 {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"WARNING: K=1 striped %d messages at %d bytes", st.Messages, n))
+			}
+			if k >= 2 && n >= 64*kb && st.Messages == 0 {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"WARNING: K=%d did not stripe the %d-byte message", k, n))
+			}
+		}
+		r.Series = append(r.Series, s)
+	}
+	big := sizes[len(sizes)-1]
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"K=2 speedup at %d KB: %.2fx over single-rail (gate: >= 1.5x at 64-128 KB; "+
+			"sub-threshold sizes stay single-rail by design)",
+		big/kb, goodput[2][big]/goodput[1][big]))
+	return r
+}

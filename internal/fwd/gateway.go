@@ -48,7 +48,7 @@ type relayRing struct {
 	stage  *bufPool            // copy-always ablation staging buffers
 	static map[string]*bufPool // per-egress-network driver static buffers
 
-	hdr [gtmHeaderLen]byte // GTM header scratch, one relay at a time
+	hdr [stripeHeaderLen]byte // GTM/stripe header scratch, one relay at a time
 }
 
 func newGateway(vc *VirtualChannel, node *mad.Node) *Gateway {
@@ -105,7 +105,7 @@ func (g *Gateway) start() {
 		sim.SpawnDaemon(fmt.Sprintf("gwpoll:%s:%s", g.name, nwName), func(p *vtime.Proc) {
 			for {
 				a := ep.WaitArrival(p)
-				if a.Kind() != mad.KindGTM {
+				if k := a.Kind(); k != mad.KindGTM && k != mad.KindStripe {
 					panic("fwd: non-GTM message on special channel " + spc.Name)
 				}
 				g.forward(p, a)
@@ -204,12 +204,20 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	defer in.ReleaseRecv(p)
 
 	r := g.ring(in.Channel.Network().Name)
-	hdr := r.hdr[:]
+	// A striped rail carries a longer header, but its leading fields are
+	// byte-compatible with the GTM header — the gateway reads the routing
+	// fields and relays the rest of the stream unchanged, oblivious to
+	// the striping schedule.
+	hdrLen := gtmHeaderLen
+	if a.Kind() == mad.KindStripe {
+		hdrLen = stripeHeaderLen
+	}
+	hdr := r.hdr[:hdrLen]
 	meta, _ := in.RecvInto(p, hdr)
-	if !meta.SOM || meta.Kind != mad.KindGTM || len(meta.Blocks) != 1 {
+	if !meta.SOM || meta.Kind != a.Kind() || len(meta.Blocks) != 1 {
 		panic("fwd: malformed GTM header at gateway " + g.name)
 	}
-	_, dstRank, mtu, msgID, ok := decodeGTMHeader(hdr)
+	_, dstRank, mtu, msgID, ok := decodeGTMHeader(hdr[:gtmHeaderLen])
 	if !ok {
 		panic("fwd: malformed GTM header at gateway " + g.name)
 	}
@@ -232,9 +240,10 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	out := outCh.Link(g.node.Rank, vc.NodeRank(hop.To))
 	out.Acquire(p)
 	defer out.Release(p)
-	out.Send(p, mad.TxMeta{SOM: true, Kind: mad.KindGTM, Blocks: gtmHeaderDesc}, hdr)
+	out.Send(p, mad.TxMeta{SOM: true, Kind: meta.Kind,
+		Blocks: []mad.BlockDesc{{Size: hdrLen, S: mad.SendCheaper, R: mad.ReceiveExpress}}}, hdr)
 
-	g.pipeline(p, r, in, out, mtu)
+	g.pipeline(p, r, in, out, mtu, meta.Kind)
 	g.messages++
 }
 
@@ -269,7 +278,7 @@ type relayPacket struct {
 // and every buffer is in flight — the wait is recorded as a "stall" span,
 // which obs.AnalyzeLanes accounts to the lane's stall fraction; the deeper
 // the ring, the fewer such bubbles.
-func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu int) {
+func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu int, kind mad.Kind) {
 	vc := g.vc
 	cfg := vc.cfg
 	tr := cfg.Tracer
@@ -305,11 +314,11 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 		for {
 			pkt, _ := r.full.Recv(sp)
 			if pkt.eom {
-				out.Send(sp, mad.TxMeta{Kind: mad.KindGTM, EOM: true}, nil)
+				out.Send(sp, mad.TxMeta{Kind: kind, EOM: true}, nil)
 				return
 			}
 			t0 := sp.Now()
-			out.Send(sp, mad.TxMeta{Kind: mad.KindGTM, Blocks: pkt.desc}, pkt.data)
+			out.Send(sp, mad.TxMeta{Kind: kind, Blocks: pkt.desc}, pkt.data)
 			tr.Record(sendActor, "send", len(pkt.data), t0, sp.Now())
 			if pkt.aux != nil {
 				r.stage.put(pkt.aux)

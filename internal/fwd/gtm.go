@@ -80,9 +80,9 @@ type gtmPacking struct {
 	id   uint64
 }
 
-func newGTMPacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, link *mad.Link, finalDst mad.Rank) *gtmPacking {
+func newGTMPacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, link *mad.Link, finalDst mad.Rank, id uint64) *gtmPacking {
 	mtu := vc.PathMTU(node.Name, vc.sess.Node(finalDst).Name)
-	g := &gtmPacking{vc: vc, node: node, link: link, mtu: mtu, id: vc.nextMsgID()}
+	g := &gtmPacking{vc: vc, node: node, link: link, mtu: mtu, id: id}
 	link.Acquire(p)
 	link.Send(p, mad.TxMeta{SOM: true, Kind: mad.KindGTM, Blocks: gtmHeaderDesc},
 		encodeGTMHeader(node.Rank, finalDst, g.mtu, g.id))

@@ -77,6 +77,13 @@ type RetryPolicy struct {
 	// RouteAttempts bounds how many alternate next hops one packet tries
 	// before its forwarding fails.
 	RouteAttempts int
+	// Window is the per-hop ARQ window: how many packets one sender keeps
+	// in flight toward one neighbour before waiting for acknowledgements.
+	// The receiver coalesces the window's hop acks into one control
+	// datagram (the last packet of a burst requests the flush), so larger
+	// windows cut the ack traffic by their size. 1 degenerates to
+	// stop-and-wait.
+	Window int
 }
 
 // DefaultRetryPolicy returns the timeouts and budgets the tests and tools
@@ -96,6 +103,7 @@ func DefaultRetryPolicy() RetryPolicy {
 		E2EPerFrag:     5 * vtime.Millisecond,
 		ReprobeAfter:   500 * vtime.Millisecond,
 		RouteAttempts:  3,
+		Window:         8,
 	}
 }
 
@@ -125,6 +133,9 @@ func (rp RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if rp.RouteAttempts <= 0 {
 		rp.RouteAttempts = def.RouteAttempts
+	}
+	if rp.Window <= 0 {
+		rp.Window = def.Window
 	}
 	return rp
 }
@@ -159,18 +170,36 @@ type DeliveryStats struct {
 // trailing checksum — acknowledgements included, so a corrupted ack is
 // dropped rather than misparsed):
 //
-//	data:  origin u32 | final u32 | msgID u64 | frag u32 | total u32 | payload | crc u32
-//	ack:   origin u32 | msgID u64 | frag u32 | crc u32
+//	data:  origin u32 | final u32 | msgID u64 | frag u32 | total u32 |
+//	       flags u8 | nacks u8 | pad u16 | payload |
+//	       nacks × ackEntry | crc u32
+//	ack:   count u8 | count × ackEntry | crc u32
+//	ackEntry: origin u32 | msgID u64 | frag u32
+//
+// Acknowledgements are batched: a receiver accumulates the hop acks of a
+// sender's burst and emits them as one control datagram when the burst's
+// flush-flagged last packet arrives (or the batch cap is hit). Pending
+// acks also piggyback on reverse-direction data packets — the nacks
+// trailer — so a bidirectional exchange needs almost no standalone ack
+// datagrams at all.
 //
 // An end-to-end acknowledgement is a data packet with frag == e2eFrag,
 // total == 0, an empty payload and final == origin — routed back to the
 // message origin through the same reliable relay machinery as data.
 const (
-	relDataHdrLen = 24
+	relDataHdrLen = 28
 	relTrailerLen = 4
 	relOverhead   = relDataHdrLen + relTrailerLen
-	relAckPktLen  = 20
+	relAckEntry   = 16
+	// relAckBatchMax caps the entries of one batched or piggybacked ack
+	// (it must fit the one-byte count fields).
+	relAckBatchMax = 64
 )
+
+// relFlagFlush asks the receiver to emit its pending hop acks for this
+// link immediately: set on the last packet of every burst and on every
+// retransmission.
+const relFlagFlush = 1 << 0
 
 // e2eFrag is the fragment-index sentinel marking an end-to-end ack packet.
 const e2eFrag = ^uint32(0)
@@ -188,24 +217,56 @@ func checkCRC(pkt []byte) bool {
 	return binary.LittleEndian.Uint32(pkt[n:]) == crc32.ChecksumIEEE(pkt[:n])
 }
 
-// relData is a decoded data packet.
+// relData is a decoded data packet. acks carries the piggybacked hop
+// acknowledgements that rode along in the packet's trailer.
 type relData struct {
 	origin  mad.Rank
 	final   mad.Rank
 	id      uint64
 	frag    uint32
 	total   uint32
+	flags   uint8
 	payload []byte
+	acks    []relAckKey
 }
 
-func encodeRelData(origin, final mad.Rank, id uint64, frag, total uint32, payload []byte) []byte {
-	pkt := make([]byte, relDataHdrLen+len(payload)+relTrailerLen)
+// key is the packet's hop-acknowledgement identity.
+func (d relData) key() relAckKey {
+	return relAckKey{origin: d.origin, id: d.id, frag: d.frag}
+}
+
+func putAckEntry(b []byte, k relAckKey) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(k.origin))
+	binary.LittleEndian.PutUint64(b[4:], k.id)
+	binary.LittleEndian.PutUint32(b[12:], k.frag)
+}
+
+func getAckEntry(b []byte) relAckKey {
+	return relAckKey{
+		origin: mad.Rank(binary.LittleEndian.Uint32(b[0:])),
+		id:     binary.LittleEndian.Uint64(b[4:]),
+		frag:   binary.LittleEndian.Uint32(b[12:]),
+	}
+}
+
+func encodeRelData(origin, final mad.Rank, id uint64, frag, total uint32, flags uint8, payload []byte, acks []relAckKey) []byte {
+	if len(acks) > relAckBatchMax {
+		panic("fwd: too many piggybacked acks")
+	}
+	pkt := make([]byte, relDataHdrLen+len(payload)+relAckEntry*len(acks)+relTrailerLen)
 	binary.LittleEndian.PutUint32(pkt[0:], uint32(origin))
 	binary.LittleEndian.PutUint32(pkt[4:], uint32(final))
 	binary.LittleEndian.PutUint64(pkt[8:], id)
 	binary.LittleEndian.PutUint32(pkt[16:], frag)
 	binary.LittleEndian.PutUint32(pkt[20:], total)
+	pkt[24] = flags
+	pkt[25] = byte(len(acks))
 	copy(pkt[relDataHdrLen:], payload)
+	off := relDataHdrLen + len(payload)
+	for _, k := range acks {
+		putAckEntry(pkt[off:], k)
+		off += relAckEntry
+	}
 	sealCRC(pkt)
 	return pkt
 }
@@ -214,34 +275,57 @@ func decodeRelData(pkt []byte) (relData, bool) {
 	if len(pkt) < relOverhead || !checkCRC(pkt) {
 		return relData{}, false
 	}
-	return relData{
+	// Canonical form only: the pad bytes are zero and the piggyback count
+	// is within the cap the encoder enforces.
+	nacks := int(pkt[25])
+	if nacks > relAckBatchMax || pkt[26] != 0 || pkt[27] != 0 {
+		return relData{}, false
+	}
+	end := len(pkt) - relTrailerLen - relAckEntry*nacks
+	if end < relDataHdrLen {
+		return relData{}, false
+	}
+	d := relData{
 		origin:  mad.Rank(binary.LittleEndian.Uint32(pkt[0:])),
 		final:   mad.Rank(binary.LittleEndian.Uint32(pkt[4:])),
 		id:      binary.LittleEndian.Uint64(pkt[8:]),
 		frag:    binary.LittleEndian.Uint32(pkt[16:]),
 		total:   binary.LittleEndian.Uint32(pkt[20:]),
-		payload: pkt[relDataHdrLen : len(pkt)-relTrailerLen],
-	}, true
+		flags:   pkt[24],
+		payload: pkt[relDataHdrLen:end],
+	}
+	for off := end; off < len(pkt)-relTrailerLen; off += relAckEntry {
+		d.acks = append(d.acks, getAckEntry(pkt[off:]))
+	}
+	return d, true
 }
 
-func encodeRelAck(origin mad.Rank, id uint64, frag uint32) []byte {
-	pkt := make([]byte, relAckPktLen)
-	binary.LittleEndian.PutUint32(pkt[0:], uint32(origin))
-	binary.LittleEndian.PutUint64(pkt[4:], id)
-	binary.LittleEndian.PutUint32(pkt[12:], frag)
+func encodeRelAcks(keys []relAckKey) []byte {
+	if len(keys) == 0 || len(keys) > relAckBatchMax {
+		panic("fwd: ack batch size out of range")
+	}
+	pkt := make([]byte, 1+relAckEntry*len(keys)+relTrailerLen)
+	pkt[0] = byte(len(keys))
+	for i, k := range keys {
+		putAckEntry(pkt[1+relAckEntry*i:], k)
+	}
 	sealCRC(pkt)
 	return pkt
 }
 
-func decodeRelAck(pkt []byte) (relAckKey, bool) {
-	if len(pkt) != relAckPktLen || !checkCRC(pkt) {
-		return relAckKey{}, false
+func decodeRelAcks(pkt []byte) ([]relAckKey, bool) {
+	if len(pkt) < 1+relAckEntry+relTrailerLen || !checkCRC(pkt) {
+		return nil, false
 	}
-	return relAckKey{
-		origin: mad.Rank(binary.LittleEndian.Uint32(pkt[0:])),
-		id:     binary.LittleEndian.Uint64(pkt[4:]),
-		frag:   binary.LittleEndian.Uint32(pkt[12:]),
-	}, true
+	n := int(pkt[0])
+	if n == 0 || n > relAckBatchMax || len(pkt) != 1+relAckEntry*n+relTrailerLen {
+		return nil, false
+	}
+	keys := make([]relAckKey, n)
+	for i := range keys {
+		keys[i] = getAckEntry(pkt[1+relAckEntry*i:])
+	}
+	return keys, true
 }
 
 // The fragment-0 descriptor payload mirrors what the GTM transmits
@@ -337,16 +421,15 @@ type relMsg struct {
 }
 
 // relayItem is one packet queued for forwarding by a node's relay daemon.
+// The packet is re-encoded at the next hop (piggybacking fresh acks), so
+// only the decoded form travels through the queue. from names the ingress
+// neighbour ("" for locally-originated packets): split horizon never
+// forwards a packet back out the way it came, which breaks the routing
+// loops two nodes with inconsistent liveness views would otherwise bounce
+// a packet around.
 type relayItem struct {
-	d   relData
-	pkt []byte
-}
-
-// ctlItem is one acknowledgement queued for emission by a node's control
-// daemon.
-type ctlItem struct {
-	link *mad.Link
-	pkt  []byte
+	d    relData
+	from string
 }
 
 // relEngine is the per-node reliability engine: sequence numbers, awaited
@@ -357,16 +440,25 @@ type relEngine struct {
 	node *mad.Node
 	pol  RetryPolicy
 
-	dead   map[string]vtime.Time   // presumed-dead node -> reprobe time
-	tables map[string]*route.Table // cached per (topology, dead-set) tables
+	dead    map[route.Edge]vtime.Time // presumed-dead directed link -> reprobe time
+	suspect map[string]vtime.Time     // neighbours not to relay through -> reprobe time
+	tables  map[string]*route.Table   // cached per (topology, dead-set) tables
 
 	acks map[relAckKey]*relAwait
 	e2e  map[relMsgKey]*relAwait
 	rx   map[relMsgKey]*relMsg
 	done map[relMsgKey]bool
 
+	// pend accumulates hop acknowledgements per reverse link until a
+	// flush (or the batch cap) drains them into one control datagram —
+	// or a data packet headed the same way piggybacks them first.
+	pend map[*mad.Link][]relAckKey
+	// queued marks links already scheduled for a ctlLoop flush, so one
+	// burst enqueues one flush regardless of its packet count.
+	queued map[*mad.Link]bool
+
 	relayQ *vsync.Chan[relayItem]
-	ctlQ   *vsync.Chan[ctlItem]
+	ctlQ   *vsync.Chan[*mad.Link]
 
 	retransmits   int64
 	failovers     int64
@@ -377,6 +469,8 @@ type relEngine struct {
 	dups          int64
 	checksumDrops int64
 	relayDrops    int64
+	ackPackets    int64 // standalone ack datagrams emitted
+	acksCoalesced int64 // ack entries that avoided their own datagram
 }
 
 func (e *relEngine) sim() *vtime.Sim { return e.vc.sess.Platform.Sim }
@@ -407,6 +501,8 @@ var relCounterNames = []string{
 	"madgo_duplicates_total",
 	"madgo_checksum_drops_total",
 	"madgo_relay_drops_total",
+	"madgo_rel_ack_packets_total",
+	"madgo_rel_acks_coalesced_total",
 }
 
 // buildReliable wires the reliable delivery machinery: one engine per node,
@@ -423,14 +519,17 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 			vc:     vc,
 			node:   node,
 			pol:    pol,
-			dead:   make(map[string]vtime.Time),
+			dead:    make(map[route.Edge]vtime.Time),
+			suspect: make(map[string]vtime.Time),
 			tables: make(map[string]*route.Table),
 			acks:   make(map[relAckKey]*relAwait),
 			e2e:    make(map[relMsgKey]*relAwait),
 			rx:     make(map[relMsgKey]*relMsg),
 			done:   make(map[relMsgKey]bool),
+			pend:   make(map[*mad.Link][]relAckKey),
+			queued: make(map[*mad.Link]bool),
 			relayQ: vsync.NewChan[relayItem]("relq:"+n.Name, 1024),
-			ctlQ:   vsync.NewChan[ctlItem]("ctlq:"+n.Name, 4096),
+			ctlQ:   vsync.NewChan[*mad.Link]("ctlq:"+n.Name, 4096),
 		}
 		vc.rel[n.Name] = e
 		for _, name := range relCounterNames {
@@ -464,8 +563,23 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 	// Per-path MTU: fragment at the most constrained network of the
 	// primary route. The descriptor carries the chosen size, so the
 	// receiver reassembles correctly even if failover later moves packets
-	// onto a different path.
+	// onto a different path. A message striped over several rails
+	// fragments at the most constrained rail, so every rail can carry
+	// every packet.
 	mtu := e.vc.PathMTU(e.node.Name, dst)
+	totalBytes := int64(0)
+	for _, b := range blocks {
+		totalBytes += int64(len(b.data))
+	}
+	rails := e.vc.stripeRoutes(e.node.Name, dst)
+	striped := len(rails) >= 2 && totalBytes >= e.vc.cfg.stripeThreshold()
+	if striped {
+		for _, r := range rails {
+			if m := e.vc.railMTU(r); m < mtu {
+				mtu = m
+			}
+		}
+	}
 
 	payloads := [][]byte{encodeRelDesc(mtu, blocks)}
 	for _, b := range blocks {
@@ -476,9 +590,10 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 	}
 	total := uint32(len(payloads))
 	final := e.vc.NodeRank(dst)
-	packets := make([][]byte, total)
+	ds := make([]relData, total)
 	for i, pl := range payloads {
-		packets[i] = encodeRelData(e.node.Rank, final, id, uint32(i), total, pl)
+		ds[i] = relData{origin: e.node.Rank, final: final, id: id,
+			frag: uint32(i), total: total, payload: pl}
 	}
 
 	mkey := relMsgKey{origin: e.node.Rank, id: id}
@@ -492,16 +607,11 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 		}
 		aw := &relAwait{}
 		e.e2e[mkey] = aw
-		routed := true
-		for i, pkt := range packets {
-			if aw.done {
-				break // the e2e ack of a previous attempt arrived
-			}
-			key := relAckKey{origin: e.node.Rank, id: id, frag: uint32(i)}
-			if !e.forwardPacket(p, dst, pkt, key) {
-				routed = false
-				break
-			}
+		var routed bool
+		if striped {
+			routed = e.sendStriped(p, dst, ds, rails, aw)
+		} else {
+			routed = e.sendBatched(p, dst, ds, aw)
 		}
 		if !routed {
 			if e.e2e[mkey] == aw {
@@ -541,66 +651,154 @@ func (e *relEngine) backoff(attempt int) vtime.Duration {
 	return d
 }
 
-// forwardPacket moves one packet one step toward finalDst, trying alternate
-// next hops (failover) when the preferred neighbour stops acknowledging. It
-// reports false when no route is left or every alternate hop failed.
-func (e *relEngine) forwardPacket(p *vtime.Proc, finalDst string, pkt []byte, key relAckKey) bool {
+// sendBatched pushes one full copy of a message toward dst in windows of
+// Window packets, stopping early when the end-to-end slot completes (the
+// ack of a previous attempt arrived). It reports false when routing failed.
+func (e *relEngine) sendBatched(p *vtime.Proc, dst string, ds []relData, aw *relAwait) bool {
+	w := e.pol.Window
+	for i := 0; i < len(ds) && !aw.done; i += w {
+		n := min(w, len(ds)-i)
+		if !e.forwardBatch(p, dst, ds[i:i+n]) {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardBatch moves a batch of packets one step toward finalDst, trying
+// alternate next hops (failover) when the preferred neighbour stops
+// acknowledging; only the packets the dead neighbour never acknowledged are
+// rerouted. A failed burst kills the *directed link* it used, never the
+// neighbour node: a multi-homed neighbour stays reachable over its other
+// links and a partitioned next hop can still be detoured around — both
+// fatal to conflate with node death when the neighbour is the final
+// destination of a direct route. A genuinely crashed node converges to
+// unreachable as each neighbour buries its own links to it. It reports
+// false when no route is left or every alternate hop failed.
+func (e *relEngine) forwardBatch(p *vtime.Proc, finalDst string, ds []relData) bool {
+	return e.forwardBatchExcluding(p, finalDst, "", ds)
+}
+
+// forwardBatchExcluding is forwardBatch under split horizon: routes
+// relaying through exclude (the ingress neighbour) are off the table.
+func (e *relEngine) forwardBatchExcluding(p *vtime.Proc, finalDst, exclude string, ds []relData) bool {
 	for try := 0; try < e.pol.RouteAttempts; try++ {
-		hop, ok := e.nextHop(finalDst, p.Now())
+		hop, ok := e.nextHop(finalDst, exclude, p.Now())
 		if !ok {
 			return false
 		}
-		if e.deliverHop(p, hop, pkt, key) {
+		failed := e.deliverBurst(p, hop, ds)
+		if len(failed) == 0 {
 			return true
 		}
-		e.markDead(hop.To, p.Now())
-		e.hop(key.id, p.Now(), "failover", "presumed dead: "+hop.To, 0)
+		ds = failed
+		e.markDead(hop, p.Now())
+		e.hop(ds[0].id, p.Now(), "failover",
+			fmt.Sprintf("link to %s via %s presumed dead", hop.To, hop.Network), 0)
 	}
 	return false
 }
 
-// deliverHop transmits one packet to one neighbour with stop-and-wait
-// retransmission and doubling timeouts. It reports false when the retry
-// budget ran out without an acknowledgement.
-func (e *relEngine) deliverHop(p *vtime.Proc, hop route.Hop, pkt []byte, key relAckKey) bool {
+// deliverBurst transmits a burst of packets to one neighbour under the ARQ
+// window discipline: every packet goes out back to back, the last one
+// flush-flagged so the receiver returns the burst's hop acks as one control
+// datagram; packets still unacknowledged after their timeout are
+// retransmitted stop-and-wait with doubling timeouts. It returns the
+// packets whose retry budget ran out (the neighbour is then presumed dead
+// by the caller) — once one packet exhausts its budget, the rest are not
+// retried, only checked for acks that already arrived.
+func (e *relEngine) deliverBurst(p *vtime.Proc, hop route.Hop, ds []relData) (failed []relData) {
 	link := e.vc.regular[hop.Network].Link(e.node.Rank, e.vc.NodeRank(hop.To))
-	kind := mad.KindRel
-	if key.frag == e2eFrag {
-		kind = mad.KindRelE2E
+	aws := make([]*relAwait, len(ds))
+	for i := range ds {
+		aws[i] = &relAwait{}
+		e.acks[ds[i].key()] = aws[i]
+		e.sendData(p, link, ds[i], i == len(ds)-1)
+		e.hop(ds[i].id, p.Now(), "hop", e.hopDetail(ds[i], hop), len(ds[i].payload))
 	}
-	det := fmt.Sprintf("frag %d -> %s via %s", key.frag, hop.To, hop.Network)
-	if key.frag == e2eFrag {
-		det = fmt.Sprintf("e2e-ack -> %s via %s", hop.To, hop.Network)
-	}
-	to := e.pol.AckTimeout
-	for try := 0; try <= e.pol.PacketRetries; try++ {
-		if try > 0 {
-			e.retransmits++
-			e.trace("rexmit", len(pkt), p.Now())
-			e.count("madgo_retransmits_total")
-			e.hop(key.id, p.Now(), "rexmit", det, len(pkt))
+	hopDead := false
+	for i := range ds {
+		key := ds[i].key()
+		aw := aws[i]
+		ok := false
+		if hopDead {
+			// The neighbour already blew a retry budget this burst;
+			// don't burn more simulated time, just harvest acks that
+			// raced in.
+			ok = aw.done && aw.ok
+		} else {
+			to := e.pol.AckTimeout
+			ok = e.await(p, aw, to, "rel ack "+hop.To)
+			for try := 1; !ok && try <= e.pol.PacketRetries; try++ {
+				e.retransmits++
+				e.trace("rexmit", len(ds[i].payload), p.Now())
+				e.count("madgo_retransmits_total")
+				e.hop(ds[i].id, p.Now(), "rexmit", e.hopDetail(ds[i], hop), len(ds[i].payload))
+				aw = &relAwait{}
+				e.acks[key] = aw
+				e.sendData(p, link, ds[i], true)
+				to *= 2
+				if to > e.pol.MaxTimeout {
+					to = e.pol.MaxTimeout
+				}
+				ok = e.await(p, aw, to, "rel ack "+hop.To)
+			}
+			if !ok {
+				hopDead = true
+			}
 		}
-		aw := &relAwait{}
-		e.acks[key] = aw
-		link.Acquire(p)
-		link.Send(p, relMeta(kind, len(pkt)), pkt)
-		link.Release(p)
-		if try == 0 {
-			e.hop(key.id, p.Now(), "hop", det, len(pkt))
-		}
-		ok := e.await(p, aw, to, "rel ack "+hop.To)
 		if e.acks[key] == aw {
 			delete(e.acks, key)
 		}
-		if ok {
-			return true
-		}
-		to *= 2
-		if to > e.pol.MaxTimeout {
-			to = e.pol.MaxTimeout
+		if !ok {
+			failed = append(failed, ds[i])
 		}
 	}
-	return false
+	return failed
+}
+
+func (e *relEngine) hopDetail(d relData, hop route.Hop) string {
+	if d.frag == e2eFrag {
+		return fmt.Sprintf("e2e-ack -> %s via %s", hop.To, hop.Network)
+	}
+	return fmt.Sprintf("frag %d -> %s via %s", d.frag, hop.To, hop.Network)
+}
+
+// sendData encodes and transmits one packet over one link, piggybacking
+// whatever hop acknowledgements are pending for that link. Encoding happens
+// here, at transmission time, so retransmissions carry fresh piggybacked
+// acks too.
+func (e *relEngine) sendData(p *vtime.Proc, link *mad.Link, d relData, flush bool) {
+	kind := mad.KindRel
+	if d.frag == e2eFrag {
+		kind = mad.KindRelE2E
+		flush = true
+	}
+	var flags uint8
+	if flush {
+		flags |= relFlagFlush
+	}
+	acks := e.takePiggyback(link)
+	pkt := encodeRelData(d.origin, d.final, d.id, d.frag, d.total, flags, d.payload, acks)
+	link.Acquire(p)
+	link.Send(p, relMeta(kind, len(pkt)), pkt)
+	link.Release(p)
+}
+
+// takePiggyback drains (up to the batch cap) the pending hop acks headed
+// where a data packet is about to go; each one saves a standalone control
+// datagram.
+func (e *relEngine) takePiggyback(link *mad.Link) []relAckKey {
+	pend := e.pend[link]
+	if len(pend) == 0 {
+		return nil
+	}
+	n := min(len(pend), relAckBatchMax)
+	acks := append([]relAckKey(nil), pend[:n]...)
+	e.pend[link] = pend[n:]
+	e.acksCoalesced += int64(n)
+	e.metrics().Add("madgo_rel_acks_coalesced_total", obs.Labels{"node": e.node.Name}, float64(n))
+	return acks
 }
 
 // await blocks until the slot completes or the timeout fires, whichever
@@ -637,10 +835,19 @@ func complete(aw *relAwait) {
 // nextHop picks the first leg toward dst, preferring the primary topology
 // (the high-speed networks) and falling back to Config.FallbackTopo (the
 // full configuration including the control network) when the primary has no
-// live path. Presumed-dead nodes are routed around; tables are cached per
-// (topology, dead-set) pair.
-func (e *relEngine) nextHop(dst string, now vtime.Time) (route.Hop, bool) {
-	avoid, tag := e.currentDead(now)
+// live path. Presumed-dead links and suspect relays are routed around, and
+// a non-empty exclude (split horizon: the ingress neighbour of a relayed
+// packet) is barred as an intermediate hop; tables are cached per
+// (topology, constraint-set) pair.
+func (e *relEngine) nextHop(dst, exclude string, now vtime.Time) (route.Hop, bool) {
+	c, tag := e.currentDead(now)
+	if exclude != "" && exclude != dst {
+		if c.Relays == nil {
+			c.Relays = make(map[string]bool, 1)
+		}
+		c.Relays[exclude] = true
+		tag += "|x:" + exclude
+	}
 	me := e.node.Name
 	for i, t := range [...]*topo.Topology{e.vc.tp, e.vc.cfg.FallbackTopo} {
 		if t == nil {
@@ -655,7 +862,7 @@ func (e *relEngine) nextHop(dst string, now vtime.Time) (route.Hop, bool) {
 		key := fmt.Sprintf("%d|%s", i, tag)
 		tbl := e.tables[key]
 		if tbl == nil {
-			tbl = route.ComputeAvoiding(t, avoid)
+			tbl = route.ComputeConstrained(t, c)
 			e.tables[key] = tbl
 		}
 		if r, ok := tbl.Lookup(me, dst); ok && len(r) > 0 {
@@ -665,31 +872,47 @@ func (e *relEngine) nextHop(dst string, now vtime.Time) (route.Hop, bool) {
 	return route.Hop{}, false
 }
 
-// currentDead prunes expired liveness guesses and returns the live dead-set
-// plus a canonical cache tag for it.
-func (e *relEngine) currentDead(now vtime.Time) (map[string]bool, string) {
+// currentDead prunes expired liveness guesses and returns the live routing
+// constraints plus a canonical cache tag for them.
+func (e *relEngine) currentDead(now vtime.Time) (route.Constraints, string) {
 	var names []string
-	for n, exp := range e.dead {
+	var c route.Constraints
+	for edge, exp := range e.dead {
 		if exp <= now {
-			delete(e.dead, n)
+			delete(e.dead, edge)
 			continue
 		}
-		names = append(names, n)
+		if c.Edges == nil {
+			c.Edges = make(map[route.Edge]bool)
+		}
+		c.Edges[edge] = true
+		names = append(names, edge.String())
+	}
+	for n, exp := range e.suspect {
+		if exp <= now {
+			delete(e.suspect, n)
+			continue
+		}
+		if c.Relays == nil {
+			c.Relays = make(map[string]bool)
+		}
+		c.Relays[n] = true
+		names = append(names, "!"+n)
 	}
 	if len(names) == 0 {
-		return nil, ""
+		return route.Constraints{}, ""
 	}
 	sort.Strings(names)
-	avoid := make(map[string]bool, len(names))
-	for _, n := range names {
-		avoid[n] = true
-	}
-	return avoid, strings.Join(names, ",")
+	return c, strings.Join(names, ",")
 }
 
-// markDead records a failover: the neighbour stopped acknowledging and is
-// excluded from routing until ReprobeAfter passes.
-func (e *relEngine) markDead(name string, now vtime.Time) {
+// markDead records a failover: the neighbour stopped acknowledging on one
+// link. The directed link is excluded from routing, and the neighbour is
+// excluded as a *relay* — the evidence cannot distinguish a crashed node
+// from one downed network, so nothing further is routed through it, but it
+// stays a legal destination over its other links. Both expire after
+// ReprobeAfter.
+func (e *relEngine) markDead(hop route.Hop, now vtime.Time) {
 	e.failovers++
 	e.trace("failover", 0, now)
 	e.count("madgo_failovers_total")
@@ -697,7 +920,8 @@ func (e *relEngine) markDead(name string, now vtime.Time) {
 	if e.pol.ReprobeAfter > 0 {
 		exp = now.Add(e.pol.ReprobeAfter)
 	}
-	e.dead[name] = exp
+	e.dead[route.Edge{From: e.node.Name, To: hop.To, Network: hop.Network}] = exp
+	e.suspect[hop.To] = exp
 }
 
 // handle dispatches one arrival in the polling daemon. The Recv comes
@@ -726,8 +950,26 @@ func (e *relEngine) handleData(p *vtime.Proc, in *mad.Link, pkt []byte) {
 		e.count("madgo_checksum_drops_total")
 		return // no ack: the sender retransmits
 	}
+	// Piggybacked hop acks ride in the data trailer; settle them first so
+	// a blocked sender wakes even if this packet is otherwise a duplicate.
+	for _, k := range d.acks {
+		complete(e.acks[k])
+	}
 	if d.final != e.node.Rank {
-		if !e.relayQ.TrySend(relayItem{d: d, pkt: pkt}) {
+		ingress := e.vc.sess.Node(in.Src.Rank).Name
+		finalName := e.vc.sess.Node(d.final).Name
+		// Custody refusal: accepting (acking) a packet we can only route
+		// back where it came from would either loop it or strand it here.
+		// Without the ack the upstream retransmits, buries this link and
+		// reroutes — local knowledge propagates exactly as far as needed.
+		if _, ok := e.nextHop(finalName, ingress, p.Now()); !ok {
+			e.relayDrops++
+			e.count("madgo_relay_drops_total")
+			e.hop(d.id, p.Now(), "refuse",
+				fmt.Sprintf("no route to %s except back via %s", finalName, ingress), 0)
+			return
+		}
+		if !e.relayQ.TrySend(relayItem{d: d, from: ingress}) {
 			e.relayDrops++
 			e.count("madgo_relay_drops_total")
 			return // backpressure: no ack until the queue drains
@@ -792,20 +1034,31 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 	}
 }
 
-// hopAck queues the hop acknowledgement of one packet on the reverse link.
-// A full control queue silently drops the ack — the sender's retransmission
-// absorbs it.
+// hopAck records the hop acknowledgement of one packet against its reverse
+// link. The entry sits in the link's pending batch until the sender's flush
+// flag (the last packet of its burst) — or the batch cap — schedules a
+// control-daemon drain; a data packet headed the same way may piggyback it
+// first. A full control queue silently drops the flush — the sender's
+// retransmission (always flush-flagged) absorbs it.
 func (e *relEngine) hopAck(in *mad.Link, d relData) {
 	back := in.Channel.Link(e.node.Rank, in.Src.Rank)
-	e.ctlQ.TrySend(ctlItem{link: back, pkt: encodeRelAck(d.origin, d.id, d.frag)})
+	e.pend[back] = append(e.pend[back], d.key())
+	if d.flags&relFlagFlush == 0 && len(e.pend[back]) < relAckBatchMax {
+		return
+	}
+	if e.queued[back] {
+		return
+	}
+	if e.ctlQ.TrySend(back) {
+		e.queued[back] = true
+	}
 }
 
 // sendE2E queues the end-to-end acknowledgement of a fully-received message
 // for reliable delivery back to its origin.
 func (e *relEngine) sendE2E(origin mad.Rank, id uint64) {
 	it := relayItem{
-		d:   relData{origin: origin, final: origin, id: id, frag: e2eFrag},
-		pkt: encodeRelData(origin, origin, id, e2eFrag, 0, nil),
+		d: relData{origin: origin, final: origin, id: id, frag: e2eFrag},
 	}
 	if !e.relayQ.TrySend(it) {
 		e.relayDrops++
@@ -813,33 +1066,58 @@ func (e *relEngine) sendE2E(origin mad.Rank, id uint64) {
 	}
 }
 
-// handleAck completes the awaited slot of one hop acknowledgement.
+// handleAck completes the awaited slots of one batched acknowledgement.
 func (e *relEngine) handleAck(pkt []byte) {
-	key, ok := decodeRelAck(pkt)
+	keys, ok := decodeRelAcks(pkt)
 	if !ok {
 		e.checksumDrops++
 		return
 	}
-	complete(e.acks[key])
+	for _, key := range keys {
+		complete(e.acks[key])
+	}
 }
 
 // relayLoop is the per-node relay daemon: it reliably forwards queued
 // packets (data passing through this node, and end-to-end acks this node
-// originates or relays), one at a time.
+// originates or relays). Backlogged packets bound for the same final
+// destination move as one windowed burst, so a relay preserves the
+// upstream sender's ack coalescing instead of re-expanding the stream into
+// stop-and-wait.
 func (e *relEngine) relayLoop(p *vtime.Proc) {
 	for {
 		it, ok := e.relayQ.Recv(p)
 		if !ok {
 			return
 		}
+		batch := []relData{it.d}
+		var requeue []relayItem
+		for len(batch) < e.pol.Window {
+			more, ok := e.relayQ.TryRecv()
+			if !ok {
+				break
+			}
+			if more.d.final == it.d.final && more.from == it.from {
+				batch = append(batch, more.d)
+			} else {
+				requeue = append(requeue, more)
+			}
+		}
+		for _, r := range requeue {
+			if !e.relayQ.TrySend(r) {
+				e.relayDrops++
+				e.count("madgo_relay_drops_total")
+			}
+		}
 		finalName := e.vc.sess.Node(it.d.final).Name
-		key := relAckKey{origin: it.d.origin, id: it.d.id, frag: it.d.frag}
-		if e.forwardPacket(p, finalName, it.pkt, key) {
-			if it.d.frag != e2eFrag {
-				e.relayedPkts++
-				e.relayedBytes += int64(len(it.pkt) - relOverhead)
-				if it.d.frag == 0 {
-					e.relayedMsgs++
+		if e.forwardBatchExcluding(p, finalName, it.from, batch) {
+			for _, d := range batch {
+				if d.frag != e2eFrag {
+					e.relayedPkts++
+					e.relayedBytes += int64(len(d.payload))
+					if d.frag == 0 {
+						e.relayedMsgs++
+					}
 				}
 			}
 		} else {
@@ -849,19 +1127,62 @@ func (e *relEngine) relayLoop(p *vtime.Proc) {
 	}
 }
 
-// ctlLoop is the per-node control daemon: it emits queued acknowledgements.
-// Its sends may block on link credits, but never on another daemon, so the
-// polling daemons stay free to drain mailboxes.
+// ctlLoop is the per-node control daemon: it drains each scheduled link's
+// pending hop acks into one batched acknowledgement datagram. Its sends may
+// block on link credits, but never on another daemon, so the polling
+// daemons stay free to drain mailboxes. A link whose batch was already
+// emptied by piggybacking is skipped.
 func (e *relEngine) ctlLoop(p *vtime.Proc) {
 	for {
-		it, ok := e.ctlQ.Recv(p)
+		link, ok := e.ctlQ.Recv(p)
 		if !ok {
 			return
 		}
-		it.link.Acquire(p)
-		it.link.Send(p, relMeta(mad.KindRelAck, len(it.pkt)), it.pkt)
-		it.link.Release(p)
+		delete(e.queued, link)
+		// Re-read the pending batch before every datagram: the link.Send
+		// below parks, and the polling daemon may append new entries
+		// meanwhile.
+		for len(e.pend[link]) > 0 {
+			pend := e.pend[link]
+			n := min(len(pend), relAckBatchMax)
+			pkt := encodeRelAcks(pend[:n])
+			e.pend[link] = pend[n:]
+			e.ackPackets++
+			e.count("madgo_rel_ack_packets_total")
+			if n > 1 {
+				e.acksCoalesced += int64(n - 1)
+				e.metrics().Add("madgo_rel_acks_coalesced_total",
+					obs.Labels{"node": e.node.Name}, float64(n-1))
+			}
+			link.Acquire(p)
+			link.Send(p, relMeta(mad.KindRelAck, len(pkt)), pkt)
+			link.Release(p)
+		}
 	}
+}
+
+// AckStats aggregates the acknowledgement-traffic counters over every node.
+// Unlike DeliveryStats these are non-zero on clean runs: they count control
+// datagrams, not failures.
+type AckStats struct {
+	// Packets is how many standalone acknowledgement datagrams were sent.
+	Packets int64
+	// Coalesced is how many individual hop acknowledgements avoided their
+	// own datagram — by riding in a batch (n-1 of a batch of n) or by
+	// piggybacking on a reverse-direction data packet (all n).
+	Coalesced int64
+}
+
+// AckStats sums the acknowledgement-traffic counters over every node.
+// Zero-valued in streaming (non-reliable) mode.
+func (vc *VirtualChannel) AckStats() AckStats {
+	var s AckStats
+	for _, name := range vc.relOrder {
+		e := vc.rel[name]
+		s.Packets += e.ackPackets
+		s.Coalesced += e.acksCoalesced
+	}
+	return s
 }
 
 // DeliveryStats sums the reliability counters over every node, in node

@@ -62,6 +62,15 @@ type Config struct {
 	// primary topology has no live route. Its node set must contain every
 	// node of the primary topology.
 	FallbackTopo *topo.Topology
+	// StripeK, when at least 2, enables multi-rail striping: large
+	// messages are split across up to StripeK link-disjoint routes per
+	// node pair (see stripe.go), rate-proportionally. 0 and 1 keep the
+	// single-route send path.
+	StripeK int
+	// StripeThreshold is the minimum message size (bytes) striping is
+	// attempted for; smaller messages take the single-rail path. 0 means
+	// DefaultStripeThreshold.
+	StripeThreshold int
 }
 
 // DefaultConfig returns the paper's forwarding configuration with a 32 KB
@@ -87,6 +96,12 @@ func (c Config) validate() error {
 	}
 	if c.FallbackTopo != nil && !c.Reliable {
 		return fmt.Errorf("fwd: FallbackTopo requires Reliable")
+	}
+	if c.StripeK < 0 || c.StripeK > stripeMaxRails {
+		return fmt.Errorf("fwd: StripeK must be in [0, %d], got %d", stripeMaxRails, c.StripeK)
+	}
+	if c.StripeThreshold < 0 {
+		return fmt.Errorf("fwd: negative StripeThreshold")
 	}
 	return nil
 }
@@ -132,6 +147,10 @@ type VirtualChannel struct {
 	// message crosses records provenance hops under its ID. Deterministic:
 	// the simulation is single-threaded, so pack order fixes the sequence.
 	msgSeq uint64
+
+	// stripe holds the multi-rail striping state; nil unless
+	// Config.StripeK > 1 (see stripe.go).
+	stripe *stripeState
 
 	// pathMTUs caches the negotiated per-pair packet size (PathMTU mode).
 	pathMTUs map[[2]string]int
@@ -253,6 +272,14 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 		vc.merged[node.Rank] = vsync.NewChan[incoming](fmt.Sprintf("merged:%s", n.Name), 4096)
 	}
 
+	if cfg.StripeK > 1 {
+		// Striping needs the per-pair K-route cache and the static
+		// network rates in both modes; in streaming mode the K-routes
+		// additionally contribute special channels and gateway engines
+		// below.
+		vc.initStriping(bindings)
+	}
+
 	if cfg.Reliable {
 		vc.relOrder = buildTopo.NodeNames()
 		vc.buildReliable(buildTopo)
@@ -278,6 +305,20 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 				if i < len(r)-1 {
 					specialNets[hop.Network] = true
 					gateways[hop.To] = true
+				}
+			}
+		}
+	}
+	// Striped rails may relay through networks and nodes no table route
+	// uses; those need special channels and gateway engines too.
+	if vc.stripe != nil {
+		for _, rs := range vc.stripe.kroutes {
+			for _, r := range rs {
+				for i, hop := range r {
+					if i < len(r)-1 {
+						specialNets[hop.Network] = true
+						gateways[hop.To] = true
+					}
 				}
 			}
 		}
@@ -382,11 +423,12 @@ func (e *Endpoint) Node() *mad.Node { return e.node }
 // self-described GTM message on the special channel toward the first
 // gateway; the application cannot tell the difference.
 type Packing struct {
-	plain *mad.Packing
-	gtm   *gtmPacking
-	rel   *relPacking
-	id    uint64
-	ended bool
+	plain  *mad.Packing
+	gtm    *gtmPacking
+	rel    *relPacking
+	stripe *stripePacking
+	id     uint64
+	ended  bool
 }
 
 // MsgID returns the message's channel-global ID, assigned at BeginPacking.
@@ -412,6 +454,15 @@ func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
 		e.vc.metrics().RecordHop(rp.id, p.Now(), e.node.Name, "pack", "reliable -> "+dst, 0)
 		return &Packing{rel: rp, id: rp.id}
 	}
+	// Striping: when the pair has at least two disjoint rails, buffer the
+	// message and let EndPacking split it (or fall back to the single-rail
+	// path below the size threshold).
+	if len(e.vc.stripeRoutes(e.node.Name, dst)) >= 2 {
+		sx := newStripePacking(e.vc, e.node, dst)
+		e.vc.metrics().RecordHop(sx.id, p.Now(), e.node.Name, "pack",
+			fmt.Sprintf("stripe -> %s (%d rails)", dst, len(e.vc.stripeRoutes(e.node.Name, dst))), 0)
+		return &Packing{stripe: sx, id: sx.id}
+	}
 	r, ok := e.vc.tbl.Lookup(e.node.Name, dst)
 	if !ok {
 		panic(fmt.Sprintf("fwd: no route %s -> %s", e.node.Name, dst))
@@ -429,7 +480,7 @@ func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
 		panic("fwd: route crosses network without a special channel: " + hop.Network)
 	}
 	link := spc.Link(e.node.Rank, e.vc.NodeRank(hop.To))
-	g := newGTMPacking(p, e.vc, e.node, link, e.vc.NodeRank(dst))
+	g := newGTMPacking(p, e.vc, e.node, link, e.vc.NodeRank(dst), e.vc.nextMsgID())
 	e.vc.metrics().RecordHop(g.id, p.Now(), e.node.Name, "pack",
 		fmt.Sprintf("gtm -> %s via %s", dst, hop.Network), 0)
 	return &Packing{gtm: g, id: g.id}
@@ -446,6 +497,10 @@ func (px *Packing) Pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMo
 	}
 	if px.rel != nil {
 		px.rel.pack(p, data, s, r)
+		return
+	}
+	if px.stripe != nil {
+		px.stripe.pack(p, data, s, r)
 		return
 	}
 	px.gtm.pack(p, data, s, r)
@@ -465,17 +520,22 @@ func (px *Packing) EndPacking(p *vtime.Proc) {
 		px.rel.end(p)
 		return
 	}
+	if px.stripe != nil {
+		px.stripe.end(p)
+		return
+	}
 	px.gtm.end(p)
 }
 
 // Unpacking is an incoming message on a virtual channel.
 type Unpacking struct {
-	plain *mad.Unpacking
-	gtm   *gtmUnpacking
-	rel   *relUnpacking
-	from  mad.Rank
-	fwd   bool
-	ended bool
+	plain  *mad.Unpacking
+	gtm    *gtmUnpacking
+	rel    *relUnpacking
+	stripe *stripeUnpacking
+	from   mad.Rank
+	fwd    bool
+	ended  bool
 }
 
 // BeginUnpacking blocks until a message arrives on any of the node's
@@ -485,22 +545,50 @@ type Unpacking struct {
 // the actual message body" (§2.2.2).
 func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
 	p.Sleep(e.node.Host.CPU.PollCost)
-	in, ok := e.vc.merged[e.node.Rank].Recv(p)
-	if !ok {
-		panic("fwd: merged arrival queue closed")
+	for {
+		// A striped message completed by an earlier arrival round is
+		// delivered before pulling new announcements.
+		if st := e.stripeRx(); st != nil && len(st.ready) > 0 {
+			g := st.ready[0]
+			st.ready = st.ready[1:]
+			su := newStripeUnpacking(e.vc, e.node, g)
+			return &Unpacking{stripe: su, from: su.from(), fwd: su.forwarded()}
+		}
+		in, ok := e.vc.merged[e.node.Rank].Recv(p)
+		if !ok {
+			panic("fwd: merged arrival queue closed")
+		}
+		if in.rel != nil {
+			ru := newRelUnpacking(e.vc.rel[e.node.Name], in.rel)
+			srcName := e.vc.sess.Node(in.rel.origin).Name
+			fwd := len(e.vc.tp.SharedNetworks(srcName, e.node.Name)) == 0
+			return &Unpacking{rel: ru, from: in.rel.origin, fwd: fwd}
+		}
+		if in.a.Kind() == mad.KindStripe {
+			// One rail of a striped message: file it and keep pulling
+			// until some message (striped or not) is complete.
+			if g := e.vc.openStripeRail(p, e.node, in.a); g != nil {
+				su := newStripeUnpacking(e.vc, e.node, g)
+				return &Unpacking{stripe: su, from: su.from(), fwd: su.forwarded()}
+			}
+			continue
+		}
+		if in.a.Kind() == mad.KindGTM {
+			g := newGTMUnpacking(p, e.vc, e.node, in.a)
+			return &Unpacking{gtm: g, from: g.from, fwd: true}
+		}
+		u := in.ep.Open(p, in.a)
+		return &Unpacking{plain: u, from: u.From()}
 	}
-	if in.rel != nil {
-		ru := newRelUnpacking(e.vc.rel[e.node.Name], in.rel)
-		srcName := e.vc.sess.Node(in.rel.origin).Name
-		fwd := len(e.vc.tp.SharedNetworks(srcName, e.node.Name)) == 0
-		return &Unpacking{rel: ru, from: in.rel.origin, fwd: fwd}
+}
+
+// stripeRx returns this node's rail collection state, or nil when striping
+// is off.
+func (e *Endpoint) stripeRx() *stripeRx {
+	if e.vc.stripe == nil {
+		return nil
 	}
-	if in.a.Kind() == mad.KindGTM {
-		g := newGTMUnpacking(p, e.vc, e.node, in.a)
-		return &Unpacking{gtm: g, from: g.from, fwd: true}
-	}
-	u := in.ep.Open(p, in.a)
-	return &Unpacking{plain: u, from: u.From()}
+	return e.vc.stripe.rx[e.node.Rank]
 }
 
 // From returns the rank of the message's original sender, even across
@@ -523,6 +611,10 @@ func (u *Unpacking) Unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.Recv
 		u.rel.unpack(p, dst, s, r)
 		return
 	}
+	if u.stripe != nil {
+		u.stripe.unpack(p, dst, s, r)
+		return
+	}
 	u.gtm.unpack(p, dst, s, r)
 }
 
@@ -538,6 +630,10 @@ func (u *Unpacking) EndUnpacking(p *vtime.Proc) {
 	}
 	if u.rel != nil {
 		u.rel.end(p)
+		return
+	}
+	if u.stripe != nil {
+		u.stripe.end(p)
 		return
 	}
 	u.gtm.end(p)

@@ -100,6 +100,12 @@ const (
 	// KindRelE2E is the end-to-end acknowledgement the final destination
 	// sends back to a message's origin once every fragment arrived.
 	KindRelE2E
+	// KindStripe is one rail of a striped GTM message: a self-described
+	// packet stream like KindGTM, but whose header additionally names the
+	// rail and the contiguous byte span of the message it carries, so the
+	// final receiver can reassemble several concurrently-arriving rails
+	// into one posted buffer.
+	KindStripe
 )
 
 func (k Kind) String() string {
@@ -114,6 +120,8 @@ func (k Kind) String() string {
 		return "relack"
 	case KindRelE2E:
 		return "rele2e"
+	case KindStripe:
+		return "stripe"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

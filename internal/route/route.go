@@ -48,12 +48,23 @@ func (r Route) String() string {
 	return sb.String()
 }
 
+// Edge identifies one directed link of the route graph: From transmitting
+// to To across Network. Directed on purpose — a failed send says nothing
+// about the reverse direction.
+type Edge struct {
+	From, To, Network string
+}
+
+func (e Edge) String() string { return e.From + ">" + e.To + "@" + e.Network }
+
 // Table holds the routes of every ordered node pair of a topology.
 type Table struct {
 	topo   *topo.Topology
 	netIdx map[string]int
 	routes map[[2]string]Route
 	avoid  map[string]bool
+	avoidR map[string]bool
+	avoidE map[Edge]bool
 }
 
 // Compute builds the routing table with breadth-first search over the
@@ -71,13 +82,36 @@ func Compute(t *topo.Topology) *Table {
 // gateway is presumed dead; pairs that only connect through avoided nodes
 // simply come back unreachable from Lookup (ok=false), never as a panic.
 func ComputeAvoiding(t *topo.Topology, avoid map[string]bool) *Table {
-	tb := &Table{topo: t, netIdx: make(map[string]int), routes: make(map[[2]string]Route), avoid: avoid}
+	return ComputeConstrained(t, Constraints{Nodes: avoid})
+}
+
+// Constraints restricts which parts of the graph a table may route over.
+type Constraints struct {
+	// Nodes are excluded entirely: neither source, destination nor
+	// intermediate hop of any route.
+	Nodes map[string]bool
+	// Relays are excluded as intermediate hops but stay valid
+	// destinations. The reliability layer puts a neighbour here after a
+	// failed burst: whether the node crashed or just one link to it died,
+	// nothing should be routed *through* it on the available evidence —
+	// but writing it off as a destination would be wrong when only the
+	// link is down.
+	Relays map[string]bool
+	// Edges are individual directed links excluded as route legs; their
+	// endpoints stay reachable through other links.
+	Edges map[Edge]bool
+}
+
+// ComputeConstrained builds a routing table honouring the given constraints.
+func ComputeConstrained(t *topo.Topology, c Constraints) *Table {
+	tb := &Table{topo: t, netIdx: make(map[string]int), routes: make(map[[2]string]Route),
+		avoid: c.Nodes, avoidR: c.Relays, avoidE: c.Edges}
 	for i, n := range t.Networks() {
 		tb.netIdx[n.Name] = i
 	}
 	names := t.NodeNames()
 	for _, src := range names {
-		if avoid[src] {
+		if tb.avoid[src] {
 			continue
 		}
 		tb.computeFrom(src)
@@ -107,9 +141,13 @@ func (tb *Table) computeFrom(src string) {
 			for _, nw := range node.Networks {
 				net, _ := t.Network(nw)
 				for _, peer := range net.Members {
-					if peer != cur && !tb.avoid[peer] {
-						hops = append(hops, neighbor{network: nw, node: peer})
+					if peer == cur || tb.avoid[peer] {
+						continue
 					}
+					if tb.avoidE[Edge{From: cur, To: peer, Network: nw}] {
+						continue
+					}
+					hops = append(hops, neighbor{network: nw, node: peer})
 				}
 			}
 			// Deterministic exploration order: preferred (earlier
@@ -125,7 +163,11 @@ func (tb *Table) computeFrom(src string) {
 					continue
 				}
 				visited[h.node] = state{prev: cur, via: h.network}
-				next = append(next, h.node)
+				// Suspect relays are reachable as destinations but
+				// never expanded through.
+				if !tb.avoidR[h.node] {
+					next = append(next, h.node)
+				}
 			}
 		}
 		frontier = next

@@ -103,6 +103,12 @@ type (
 	DeliveryError = fwd.DeliveryError
 	// DeliveryStats aggregates the recovery work of a reliable run.
 	DeliveryStats = fwd.DeliveryStats
+	// StripeStats aggregates the multi-rail striping layer's counters
+	// (messages striped, rebalances, rail failovers, per-rail bytes).
+	StripeStats = fwd.StripeStats
+	// AckStats aggregates the reliable mode's acknowledgement traffic
+	// (packets sent, entries coalesced, entries piggybacked on data).
+	AckStats = fwd.AckStats
 	// Metrics is a virtual-time-aware metrics registry: counters, gauges,
 	// latency histograms and per-message provenance traces, attached with
 	// WithMetrics.
@@ -194,6 +200,13 @@ type Options struct {
 	// delivery: checksummed, acknowledged, retransmitted packets with
 	// gateway failover.
 	Reliable bool
+	// StripeK, when at least 2, enables multi-rail striping: messages
+	// above StripeThreshold are split across up to StripeK link-disjoint
+	// routes and transmitted in parallel.
+	StripeK int
+	// StripeThreshold is the minimum message size (bytes) striping is
+	// attempted for; 0 means fwd.DefaultStripeThreshold (16 KB).
+	StripeThreshold int
 }
 
 // Option mutates Options.
@@ -261,6 +274,23 @@ func WithFaults(p *FaultPlan) Option { return func(o *Options) { o.Faults = p } 
 // WithRetryPolicy sets the reliable mode's timeouts and retry budgets
 // (implies WithReliableDelivery).
 func WithRetryPolicy(rp RetryPolicy) Option { return func(o *Options) { o.Retry = &rp } }
+
+// WithStriping enables multi-rail striping with up to k link-disjoint
+// routes per node pair. Large messages are split across the rails
+// rate-proportionally and reassembled in place at the receiver; pairs with a
+// single route, and messages below the striping threshold, use the ordinary
+// single-route path. k must be between 1 (striping off) and 8. Striping
+// composes with reliable delivery: a rail that dies mid-message hands its
+// residual quota to the surviving rails.
+func WithStriping(k int) Option { return func(o *Options) { o.StripeK = k } }
+
+// WithStripeThreshold sets the minimum message size, in bytes, that
+// WithStriping splits across rails (default 16 KB). Smaller messages finish
+// within one round trip on the fastest rail, so striping them only adds
+// header and reassembly overhead.
+func WithStripeThreshold(bytes int) Option {
+	return func(o *Options) { o.StripeThreshold = bytes }
+}
 
 // WithReliableDelivery switches the virtual channel from the paper's
 // streaming forwarding to reliable datagram delivery: every packet is
@@ -356,6 +386,9 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 		InflowLimit:   o.InflowLimit,
 		Tracer:        o.Tracer,
 		Reliable:      reliable,
+
+		StripeK:         o.StripeK,
+		StripeThreshold: o.StripeThreshold,
 	}
 	if reliable {
 		if o.Retry != nil {
@@ -446,6 +479,14 @@ func (s *System) GatewayStats(name string) (GatewayStats, bool) {
 // node. All fields are zero in streaming mode and on fault-free reliable
 // runs.
 func (s *System) DeliveryStats() DeliveryStats { return s.Channel.DeliveryStats() }
+
+// StripeStats returns the multi-rail striping counters. All fields are
+// zero-valued when striping is off (no WithStriping, or k < 2).
+func (s *System) StripeStats() StripeStats { return s.Channel.StripeStats() }
+
+// AckStats returns the reliable mode's acknowledgement-traffic counters,
+// summed over every node. All fields are zero in streaming mode.
+func (s *System) AckStats() AckStats { return s.Channel.AckStats() }
 
 // Routes renders the routing table of the virtual channel.
 func (s *System) Routes() string { return s.Channel.Table().String() }

@@ -159,17 +159,64 @@ func TestDeadlockSurfacesAsError(t *testing.T) {
 
 func TestExperimentsExposed(t *testing.T) {
 	exps := madeleine.Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"fig6", "fig7", "t1", "headline", "o1", "p1", "r1"} {
+	for _, want := range []string{"fig6", "fig7", "t1", "headline", "o1", "p1", "r1", "s1"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
+	}
+}
+
+// TestStripingFacade drives multi-rail striping through the public API:
+// the dual-rail topology, WithStriping, byte-exact delivery, and the
+// StripeStats/AckStats accessors.
+func TestStripingFacade(t *testing.T) {
+	sys, err := madeleine.NewSystem(`
+		network myri0 myrinet
+		network sci0 sci
+		node a myri0 sci0
+		node b myri0 sci0
+	`, madeleine.WithStriping(2), madeleine.WithStripeThreshold(8*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64 * 1024
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i*7 + 3)
+	}
+	got := make([]byte, n)
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("a").BeginPacking(p, "b")
+		px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		u := sys.At("b").BeginUnpacking(p)
+		u.Unpack(p, got, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("striped payload corrupted")
+	}
+	st := sys.StripeStats()
+	if st.Messages != 1 {
+		t.Errorf("striped %d messages, want 1", st.Messages)
+	}
+	if len(st.RailBytes) != 2 {
+		t.Errorf("rail bytes on %d rails, want 2: %v", len(st.RailBytes), st.RailBytes)
+	}
+	if ack := sys.AckStats(); ack != (madeleine.AckStats{}) {
+		t.Errorf("streaming mode reported ack traffic: %+v", ack)
 	}
 }
 
