@@ -2,9 +2,13 @@ GO ?= go
 COVER_MIN ?= 85
 FWD_COVER_MIN ?= 80
 FUZZTIME ?= 30s
-FUZZ_TARGETS = FuzzGTMHeader FuzzStripeHeader FuzzRelData FuzzRelAck FuzzRelDesc
+# package:target pairs; go test accepts one -fuzz pattern per invocation.
+FUZZ_TARGETS = \
+	internal/fwd:FuzzGTMHeader internal/fwd:FuzzStripeHeader \
+	internal/fwd:FuzzRelData internal/fwd:FuzzRelAck internal/fwd:FuzzRelDesc \
+	internal/health:FuzzHealthProbe
 
-.PHONY: check build vet test race bench cover fuzz stripe-gate
+.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate soak
 
 check: build vet race cover
 
@@ -25,6 +29,7 @@ bench:
 	$(GO) run ./cmd/madbench -json o1 > BENCH_o1.json
 	$(GO) run ./cmd/madbench -json p1 > BENCH_p1.json
 	$(GO) run ./cmd/madbench -json s1 > BENCH_s1.json
+	$(GO) run ./cmd/madbench -json r2 > BENCH_r2.json
 
 # stripe-gate archives the striping sweep and fails unless K=2 goodput on
 # the dual-rail topology is >= 1.5x the K=1 baseline at 64-128 KB. The
@@ -34,13 +39,29 @@ stripe-gate:
 	$(GO) run ./cmd/madbench -json s1 > BENCH_s1.json
 	$(GO) test ./internal/bench -run '^TestS1StripeSpeedupGate$$' -v
 
+# r2-gate archives the self-healing recovery run and fails unless the rail
+# the fault plan flaps dead is re-admitted after probation and goodput
+# re-converges to >= 90% of the pre-fault dual-rail level. Deterministic,
+# so the gate test reruns the exact stream the JSON archive came from.
+r2-gate:
+	$(GO) run ./cmd/madbench -json r2 > BENCH_r2.json
+	$(GO) test ./internal/bench -run '^TestR2SelfHealingGate$$' -v
+
+# soak runs the chaos property tests — random link flaps under load with
+# byte-identical payload, epoch-convergence and rail-readmission
+# assertions — with the race detector on.
+soak:
+	$(GO) test -race ./internal/fwd -run '^TestChaosSoakSelfHealing$$|^TestHealth' -v
+	$(GO) test -race ./internal/health
+
 # fuzz smokes every wire-codec fuzz target for FUZZTIME each (go test
-# accepts a single -fuzz pattern per invocation, hence the loop). CI runs
-# this with the default 30s per target.
+# accepts a single -fuzz pattern per invocation, hence the pkg:target
+# loop). CI runs this with the default 30s per target.
 fuzz:
-	@set -e; for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test ./internal/fwd -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); \
+	@set -e; for pt in $(FUZZ_TARGETS); do \
+		pkg=$${pt%%:*}; t=$${pt##*:}; \
+		echo "fuzz ./$$pkg $$t ($(FUZZTIME))"; \
+		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); \
 	done
 
 # cover gates the observability packages — the metrics registry and the

@@ -11,6 +11,13 @@
 //	madping -netmtu sci0=65536,myri0=32768    # per-path MTU negotiation
 //	madping -loss 0.05 -seed 42               # goodput under 5% packet loss
 //	madping -rails 2                          # stripe across two disjoint routes
+//	madping -health                           # arm the link-health detector
+//	madping -rails 2 -flap sci0@30ms+120ms    # kill one rail mid-run, watch it heal
+//
+// -flap takes network@start+duration entries (comma-separated): the named
+// network drops every packet for the window, the health detector declares
+// its links dead, publishes a new routing epoch around them, and re-admits
+// them after probation once the window closes. It implies -health.
 //
 // The topology file uses the format of cmd/madtopo; when -config is absent
 // the paper's SCI+Myrinet testbed is used.
@@ -20,8 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	madeleine "madgo"
 )
@@ -41,10 +50,23 @@ func main() {
 		loss     = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
 		corrupt  = flag.Float64("corrupt", 0, "packet corruption probability (switches on reliable delivery)")
 		reliable = flag.Bool("reliable", false, "use reliable delivery even without faults")
+		healthOn = flag.Bool("health", false, "arm the link-health failure detector (implies -reliable)")
+		flap     = flag.String("flap", "", "flap networks: network@start+duration[,...] (implies -health)")
 	)
 	flag.Parse()
 
 	opts := []madeleine.Option{madeleine.WithPipelineDepth(*depth)}
+	var flaps []flapSpec
+	if *flap != "" {
+		var err error
+		if flaps, err = parseFlaps(*flap); err != nil {
+			fatal(err)
+		}
+		*healthOn = true
+	}
+	if *healthOn {
+		opts = append(opts, madeleine.WithHealthMonitor())
+	}
 	if *rails > 1 {
 		opts = append(opts, madeleine.WithStriping(*rails))
 	}
@@ -61,13 +83,16 @@ func main() {
 			opts = append(opts, madeleine.WithNetworkMTU(name, n))
 		}
 	}
-	if *loss > 0 || *corrupt > 0 {
+	if *loss > 0 || *corrupt > 0 || len(flaps) > 0 {
 		plan := madeleine.NewFaultPlan(*seed)
 		if *loss > 0 {
 			plan.Drop("*", *loss)
 		}
 		if *corrupt > 0 {
 			plan.Corrupt("*", *corrupt)
+		}
+		for _, f := range flaps {
+			plan.Flap(f.net, f.at, f.dur)
 		}
 		opts = append(opts, madeleine.WithFaults(plan))
 	} else if *reliable {
@@ -141,6 +166,68 @@ func main() {
 		fmt.Printf("recovery: %d retransmits, %d message resends, %d failovers, %d checksum drops, %d duplicates\n",
 			ds.Retransmits, ds.MessageResends, ds.Failovers, ds.ChecksumDrops, ds.Duplicates)
 	}
+	if h := sys.Health(); h != nil {
+		snap := h.Snapshot()
+		sort.Slice(snap, func(i, j int) bool {
+			a, b := snap[i].Link, snap[j].Link
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Network < b.Network
+		})
+		down := 0
+		for _, lh := range snap {
+			if lh.State != madeleine.LinkUp {
+				down++
+			}
+		}
+		fmt.Printf("health: epoch %d, %d links (%d not up), %d probes, %d readmissions\n",
+			h.Epoch(), len(snap), down, h.Probes(), h.Readmissions())
+		for _, lh := range snap {
+			if lh.State != madeleine.LinkUp {
+				fmt.Printf("  %s->%s via %s: %s (score %.2f)\n",
+					lh.Link.From, lh.Link.To, lh.Link.Network, lh.State, lh.Score)
+			}
+		}
+	}
+}
+
+// flapSpec is one parsed -flap entry.
+type flapSpec struct {
+	net string
+	at  madeleine.Time
+	dur madeleine.Duration
+}
+
+func parseFlaps(s string) ([]flapSpec, error) {
+	var out []flapSpec
+	for _, entry := range strings.Split(s, ",") {
+		net, window, ok := strings.Cut(strings.TrimSpace(entry), "@")
+		if !ok || net == "" {
+			return nil, fmt.Errorf("bad -flap entry %q (want network@start+duration)", entry)
+		}
+		start, length, ok := strings.Cut(window, "+")
+		if !ok {
+			return nil, fmt.Errorf("bad -flap window %q (want start+duration, e.g. 30ms+120ms)", window)
+		}
+		at, err := time.ParseDuration(start)
+		if err != nil {
+			return nil, fmt.Errorf("bad -flap start %q: %v", start, err)
+		}
+		dur, err := time.ParseDuration(length)
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("bad -flap duration %q", length)
+		}
+		out = append(out, flapSpec{
+			net: net,
+			at:  madeleine.Time(at.Nanoseconds()),
+			dur: madeleine.Duration(dur.Nanoseconds()),
+		})
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 //	madstat -chrome run.json         # write a Perfetto-loadable trace file
 //	madstat -config cluster.topo -from x -to y -bytes 1048576
 //	madstat -rails 2                 # multi-rail striping with per-rail breakdown
+//	madstat -health                  # arm the failure detector, print the health panel
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 		corrupt = flag.Float64("corrupt", 0, "packet corruption probability (switches on reliable delivery)")
 		crash   = flag.Duration("crash", 0, "crash the gateway 'gw' at this virtual time (0 = never)")
 
+		healthOn = flag.Bool("health", false, "arm the link-health failure detector and print its panel")
+
 		lanes  = flag.Bool("lanes", false, "print the pipeline-bubble lane report")
 		msgs   = flag.String("trace", "", `print message provenance: "all" or a message ID`)
 		chrome = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
@@ -52,6 +55,9 @@ func main() {
 	}
 	if *rails > 1 {
 		opts = append(opts, madeleine.WithStriping(*rails))
+	}
+	if *healthOn {
+		opts = append(opts, madeleine.WithHealthMonitor())
 	}
 	if *loss > 0 || *corrupt > 0 || *crash > 0 {
 		plan := madeleine.NewFaultPlan(*seed)
@@ -116,6 +122,39 @@ func main() {
 		for _, i := range idx {
 			b := st.RailBytes[i]
 			fmt.Printf("  rail %d: %d bytes (%.1f%%)\n", i, b, 100*float64(b)/float64(total))
+		}
+	}
+	if h := sys.Health(); h != nil {
+		snap := h.Snapshot()
+		sort.Slice(snap, func(i, j int) bool {
+			a, b := snap[i].Link, snap[j].Link
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Network < b.Network
+		})
+		fmt.Printf("\nlink health: epoch %d, %d probes, %d readmissions\n",
+			h.Epoch(), h.Probes(), h.Readmissions())
+		fmt.Printf("%-18s %-10s %-9s %6s %12s %12s\n", "link", "network", "state", "score", "rtt", "since")
+		for _, lh := range snap {
+			rtt := "-"
+			if lh.RTT > 0 {
+				rtt = lh.RTT.String()
+			}
+			fmt.Printf("%-18s %-10s %-9s %6.2f %12s %12v\n",
+				lh.Link.From+"->"+lh.Link.To, lh.Link.Network, lh.State.String(),
+				lh.Score, rtt, madeleine.Duration(lh.Since))
+		}
+		if ts := h.Transitions(); len(ts) > 0 {
+			fmt.Println("transitions:")
+			for _, tr := range ts {
+				fmt.Printf("  %12v  %s->%s via %s: %s -> %s (epoch %d)\n",
+					madeleine.Duration(tr.At), tr.Link.From, tr.Link.To, tr.Link.Network,
+					tr.From, tr.To, tr.Epoch)
+			}
 		}
 	}
 	if *lanes {

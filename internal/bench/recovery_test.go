@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"madgo/internal/vtime"
+)
+
+// TestR2SelfHealingGate is the CI gate for the failure detector's
+// self-healing loop: with one of two stripe rails flapped dead mid-stream,
+// traffic must degrade to the surviving rail (the dip proves the fault
+// bit), the rail must be re-admitted after probation within a bounded
+// virtual-time window, and goodput after re-admission must re-converge to
+// at least 90% of the pre-fault dual-rail level. The BENCH_r2.json archive
+// `make bench` / `make r2-gate` produce comes from the identical
+// deterministic run, so gating the numbers gates the archive.
+func TestR2SelfHealingGate(t *testing.T) {
+	out := runRecovery(150, 128*kb, vtime.Time(50*vtime.Millisecond), 100*vtime.Millisecond)
+	if out.Pre == 0 || out.Fault == 0 || out.Post == 0 {
+		t.Fatalf("a phase saw no complete message: pre %d, fault %d, post %d", out.Pre, out.Fault, out.Post)
+	}
+	if out.Readmissions < 1 {
+		t.Errorf("flapped rail was never re-admitted (readmissions %d)", out.Readmissions)
+	}
+	if out.Stripe.RailReadmissions < 1 {
+		t.Errorf("re-admission not visible in StripeStats: %+v", out.Stripe)
+	}
+	if out.FaultMBs >= out.PreMBs {
+		t.Errorf("no goodput dip during the fault window: pre %.1f MB/s, faulted %.1f MB/s",
+			out.PreMBs, out.FaultMBs)
+	}
+	if out.Ratio < 0.9 {
+		t.Errorf("recovered goodput %.1f MB/s is only %.2fx the pre-fault %.1f MB/s, gate is 0.90",
+			out.PostMBs, out.Ratio, out.PreMBs)
+	}
+	// Detection, probation and re-admission are all timer-driven, so the
+	// healing delay is bounded: probation begins at most ProbeAfterMax
+	// after the window closes and needs ProbationSuccesses probes.
+	if out.TimeToHeal < 0 || out.TimeToHeal > 500*vtime.Millisecond {
+		t.Errorf("re-admission took %v after the flap window closed, bound is 500ms", out.TimeToHeal)
+	}
+	if out.Epoch < 3 {
+		t.Errorf("final routing epoch %d; want >= 3 (one publish for the death, one for the re-admission)", out.Epoch)
+	}
+	if out.Probes == 0 {
+		t.Error("no health probes were performed")
+	}
+}
+
+// TestR2Experiment smoke-runs the registered experiment and requires a
+// WARNING-free result at quick settings.
+func TestR2Experiment(t *testing.T) {
+	r := mustRun(t, "r2", quick)
+	for _, note := range r.Notes {
+		if strings.HasPrefix(note, "WARNING") {
+			t.Errorf("r2 flagged: %s", note)
+		}
+	}
+	if len(r.Table) != 3 {
+		t.Errorf("r2 table has %d rows, want 3 phases", len(r.Table))
+	}
+}

@@ -1,0 +1,146 @@
+package fwd
+
+// Forwarding-layer side of the link-health detector (package health): the
+// monitor decides *when* an edge deserves a probe, this file performs it.
+//
+// Each node runs two daemons:
+//
+//   - A prober, fed by a bounded queue of probe requests the monitor's sink
+//     dispatches by the edge's From node. It sends a KindHealth request over
+//     the edge's link, waits up to the monitor's probe timeout for the
+//     echoed response, and reports the outcome (with the measured
+//     round-trip) back to the monitor.
+//   - An echo daemon, fed by the polling daemons: a received probe request
+//     is answered over the reverse link. The reply goes through a queue so
+//     the polling daemon never blocks on link credits — the same discipline
+//     as acknowledgements (see ctlLoop).
+//
+// Probes are single KindHealth packets flagged Reliable, so they take the
+// plain eager path and are subject to fault injection exactly like data: a
+// probe across a faulted link is lost and times out, which is the signal.
+
+import (
+	"madgo/internal/health"
+	"madgo/internal/mad"
+	"madgo/internal/route"
+	"madgo/internal/vtime"
+	"madgo/internal/vtime/vsync"
+)
+
+// healthEcho is one probe response queued for transmission.
+type healthEcho struct {
+	link  *mad.Link
+	probe health.Probe
+}
+
+// healthProber is the per-node probe machinery.
+type healthProber struct {
+	eng   *relEngine
+	q     *vsync.Chan[route.Edge]
+	echoQ *vsync.Chan[healthEcho]
+	seq   uint64
+	await map[uint64]*relAwait // outstanding probes by sequence number
+}
+
+// buildHealth wires the probe daemons and the monitor's sink. No-op when no
+// monitor is configured, preserving the legacy per-engine liveness guesses.
+func (vc *VirtualChannel) buildHealth() {
+	mon := vc.mon
+	if mon == nil {
+		return
+	}
+	sim := vc.sess.Platform.Sim
+	for _, name := range vc.relOrder {
+		e := vc.rel[name]
+		hp := &healthProber{
+			eng:   e,
+			q:     vsync.NewChan[route.Edge]("probeq:"+name, 256),
+			echoQ: vsync.NewChan[healthEcho]("echoq:"+name, 256),
+			await: make(map[uint64]*relAwait),
+		}
+		e.hp = hp
+		sim.SpawnDaemon("relprobe:"+name, func(p *vtime.Proc) {
+			for {
+				edge, ok := hp.q.Recv(p)
+				if !ok {
+					return
+				}
+				hp.probe(p, edge)
+			}
+		})
+		sim.SpawnDaemon("relecho:"+name, func(p *vtime.Proc) {
+			for {
+				it, ok := hp.echoQ.Recv(p)
+				if !ok {
+					return
+				}
+				pkt := health.EncodeProbe(it.probe)
+				it.link.Acquire(p)
+				it.link.Send(p, relMeta(mad.KindHealth, len(pkt)), pkt)
+				it.link.Release(p)
+			}
+		})
+	}
+	mon.SetProbeSink(func(edge route.Edge) {
+		e := vc.rel[edge.From]
+		if e == nil || e.hp == nil || !e.hp.q.TrySend(edge) {
+			// No prober, or its queue is saturated: count the probe as
+			// failed so the monitor reschedules instead of waiting forever
+			// on a request nobody will perform.
+			mon.ProbeResult(edge, false, 0, sim.Now())
+		}
+	})
+}
+
+// probe performs one probe: request out, await the echoed response, report.
+func (hp *healthProber) probe(p *vtime.Proc, edge route.Edge) {
+	e := hp.eng
+	mon := e.vc.mon
+	nw := e.vc.regular[edge.Network]
+	if nw == nil {
+		mon.ProbeResult(edge, false, 0, p.Now())
+		return
+	}
+	link := nw.Link(e.node.Rank, e.vc.NodeRank(edge.To))
+	hp.seq++
+	seq := hp.seq
+	aw := &relAwait{}
+	hp.await[seq] = aw
+	t0 := p.Now()
+	pkt := health.EncodeProbe(health.Probe{Kind: health.ProbeReq, Seq: seq, T0: t0})
+	link.Acquire(p)
+	link.Send(p, relMeta(mad.KindHealth, len(pkt)), pkt)
+	link.Release(p)
+	ok := e.await(p, aw, mon.ProbeTimeout(), "health probe "+edge.To)
+	delete(hp.await, seq)
+	mon.ProbeResult(edge, ok, p.Now().Sub(t0), p.Now())
+}
+
+// handleHealth dispatches one KindHealth arrival in the polling daemon: a
+// request is queued for echo, a response completes the outstanding probe.
+// Like every reliable-mode handler it never parks.
+func (e *relEngine) handleHealth(p *vtime.Proc, in *mad.Link, pkt []byte) {
+	pr, ok := health.DecodeProbe(pkt)
+	if !ok {
+		e.checksumDrops++
+		e.trace("corrupt-drop", len(pkt), p.Now())
+		e.count("madgo_checksum_drops_total")
+		return // the prober's timeout absorbs the loss
+	}
+	if pr.Kind == health.ProbeReq {
+		if e.hp == nil {
+			return // no health machinery on this node (cannot happen when armed)
+		}
+		back := in.Channel.Link(e.node.Rank, in.Src.Rank)
+		if !e.hp.echoQ.TrySend(healthEcho{link: back, probe: pr.Response()}) {
+			// Backpressure: drop the reply; the prober times out and the
+			// monitor retries on its own schedule.
+			e.relayDrops++
+			e.count("madgo_relay_drops_total")
+		}
+		return
+	}
+	if e.hp != nil {
+		complete(e.hp.await[pr.Seq])
+	}
+}

@@ -148,12 +148,19 @@ type DeliveryError struct {
 	To       string
 	Reason   string // "timeout" (no end-to-end ack) or "unreachable" (no route left)
 	Attempts int
+	// Cause is the typed underlying failure, when one exists: an
+	// "unreachable" delivery wraps *route.NoRouteError, so callers can
+	// match errors.Is(err, route.ErrNoRoute) instead of parsing Reason.
+	Cause error
 }
 
 func (e *DeliveryError) Error() string {
 	return fmt.Sprintf("fwd: delivery %s -> %s failed after %d attempt(s): %s",
 		e.From, e.To, e.Attempts, e.Reason)
 }
+
+// Unwrap exposes the typed cause to errors.Is / errors.As.
+func (e *DeliveryError) Unwrap() error { return e.Cause }
 
 // DeliveryStats aggregates the reliability protocol's counters over every
 // node of the virtual channel. All zero on a fault-free run.
@@ -439,10 +446,16 @@ type relEngine struct {
 	vc   *VirtualChannel
 	node *mad.Node
 	pol  RetryPolicy
+	rng  relRand // decorrelated-jitter state, seeded from the node name
 
 	dead    map[route.Edge]vtime.Time // presumed-dead directed link -> reprobe time
 	suspect map[string]vtime.Time     // neighbours not to relay through -> reprobe time
 	tables  map[string]*route.Table   // cached per (topology, dead-set) tables
+	// tablesEpoch is the health monitor's route epoch the cache was built
+	// under; a publish invalidates every cached constrained table at once.
+	tablesEpoch uint64
+	// hp is this node's health prober (nil when no monitor is configured).
+	hp *healthProber
 
 	acks map[relAckKey]*relAwait
 	e2e  map[relMsgKey]*relAwait
@@ -516,20 +529,21 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 	for _, n := range buildTopo.Nodes() {
 		node := vc.nodes[n.Name]
 		e := &relEngine{
-			vc:     vc,
-			node:   node,
-			pol:    pol,
+			vc:      vc,
+			node:    node,
+			pol:     pol,
+			rng:     seedRelRand(n.Name),
 			dead:    make(map[route.Edge]vtime.Time),
 			suspect: make(map[string]vtime.Time),
-			tables: make(map[string]*route.Table),
-			acks:   make(map[relAckKey]*relAwait),
-			e2e:    make(map[relMsgKey]*relAwait),
-			rx:     make(map[relMsgKey]*relMsg),
-			done:   make(map[relMsgKey]bool),
-			pend:   make(map[*mad.Link][]relAckKey),
-			queued: make(map[*mad.Link]bool),
-			relayQ: vsync.NewChan[relayItem]("relq:"+n.Name, 1024),
-			ctlQ:   vsync.NewChan[*mad.Link]("ctlq:"+n.Name, 4096),
+			tables:  make(map[string]*route.Table),
+			acks:    make(map[relAckKey]*relAwait),
+			e2e:     make(map[relMsgKey]*relAwait),
+			rx:      make(map[relMsgKey]*relMsg),
+			done:    make(map[relMsgKey]bool),
+			pend:    make(map[*mad.Link][]relAckKey),
+			queued:  make(map[*mad.Link]bool),
+			relayQ:  vsync.NewChan[relayItem]("relq:"+n.Name, 1024),
+			ctlQ:    vsync.NewChan[*mad.Link]("ctlq:"+n.Name, 4096),
 		}
 		vc.rel[n.Name] = e
 		for _, name := range relCounterNames {
@@ -547,6 +561,7 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 		sim.SpawnDaemon("relfwd:"+n.Name, func(p *vtime.Proc) { e.relayLoop(p) })
 		sim.SpawnDaemon("relctl:"+n.Name, func(p *vtime.Proc) { e.ctlLoop(p) })
 	}
+	vc.buildHealth()
 	for _, name := range vc.tp.Gateways() {
 		g := newGateway(vc, vc.nodes[name])
 		g.eng = vc.rel[name]
@@ -598,6 +613,7 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 
 	mkey := relMsgKey{origin: e.node.Rank, id: id}
 	reason := "timeout"
+	bo := pol.AckTimeout
 	for attempt := 0; attempt <= pol.MessageRetries; attempt++ {
 		if attempt > 0 {
 			e.msgResends++
@@ -619,7 +635,8 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 			}
 			reason = "unreachable"
 			if attempt < pol.MessageRetries {
-				p.Sleep(e.backoff(attempt))
+				bo = e.nextTimeout(bo)
+				p.Sleep(bo)
 			}
 			continue
 		}
@@ -633,20 +650,67 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 		}
 		reason = "timeout"
 	}
+	var cause error
+	if reason == "unreachable" {
+		cause = &route.NoRouteError{Src: e.node.Name, Dst: dst,
+			Why: "every route exhausted or excluded by liveness constraints"}
+	}
 	panic(vtime.Abort{Err: &DeliveryError{
 		From:     e.node.Name,
 		To:       dst,
 		Reason:   reason,
 		Attempts: pol.MessageRetries + 1,
+		Cause:    cause,
 	}})
 }
 
-// backoff is the inter-attempt sleep after a routing failure: exponential
-// from AckTimeout, capped at MaxTimeout.
-func (e *relEngine) backoff(attempt int) vtime.Duration {
-	d := e.pol.AckTimeout << uint(attempt)
+// relRand is a tiny splitmix64 generator, one per engine. Seeded from the
+// node name alone, it is deterministic across runs and independent of the
+// fault injector's stream, so reliability timing never perturbs fault
+// placement (or vice versa).
+type relRand struct{ s uint64 }
+
+func seedRelRand(name string) relRand {
+	// FNV-1a over the name, then a golden-ratio displacement so even
+	// single-letter names land far apart in the state space.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return relRand{s: h ^ 0x9e3779b97f4a7c15}
+}
+
+func (r *relRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *relRand) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// nextTimeout grows a retry timeout with decorrelated jitter: uniform in
+// [AckTimeout, 3·prev), capped at MaxTimeout. Compared to the synchronized
+// doubling it replaces, independent senders recovering from the same fault
+// window spread their retransmissions instead of colliding in lockstep.
+func (e *relEngine) nextTimeout(prev vtime.Duration) vtime.Duration {
+	base := e.pol.AckTimeout
+	if prev < base {
+		prev = base
+	}
+	hi := 3 * prev
+	if hi <= base {
+		hi = base + 1
+	}
+	d := base + vtime.Duration(e.rng.float()*float64(hi-base))
 	if d > e.pol.MaxTimeout {
 		d = e.pol.MaxTimeout
+	}
+	if d < base {
+		d = base
 	}
 	return d
 }
@@ -708,11 +772,20 @@ func (e *relEngine) forwardBatchExcluding(p *vtime.Proc, finalDst, exclude strin
 // by the caller) — once one packet exhausts its budget, the rest are not
 // retried, only checked for acks that already arrived.
 func (e *relEngine) deliverBurst(p *vtime.Proc, hop route.Hop, ds []relData) (failed []relData) {
+	mon := e.vc.mon
+	edge := route.Edge{From: e.node.Name, To: hop.To, Network: hop.Network}
+	if mon != nil {
+		// Sender activity doubles as the heartbeat clock: edges this node
+		// has not exercised recently get an active probe.
+		mon.Heartbeats(e.node.Name, p.Now())
+	}
 	link := e.vc.regular[hop.Network].Link(e.node.Rank, e.vc.NodeRank(hop.To))
 	aws := make([]*relAwait, len(ds))
+	sentAt := make([]vtime.Time, len(ds))
 	for i := range ds {
 		aws[i] = &relAwait{}
 		e.acks[ds[i].key()] = aws[i]
+		sentAt[i] = p.Now()
 		e.sendData(p, link, ds[i], i == len(ds)-1)
 		e.hop(ds[i].id, p.Now(), "hop", e.hopDetail(ds[i], hop), len(ds[i].payload))
 	}
@@ -730,17 +803,26 @@ func (e *relEngine) deliverBurst(p *vtime.Proc, hop route.Hop, ds []relData) (fa
 			to := e.pol.AckTimeout
 			ok = e.await(p, aw, to, "rel ack "+hop.To)
 			for try := 1; !ok && try <= e.pol.PacketRetries; try++ {
+				if mon != nil {
+					mon.ReportFailure(edge, p.Now())
+					if mon.Excluded(edge) {
+						// Someone (our own earlier packet, another
+						// sender, the detector's score) already declared
+						// this edge dead and published a new epoch.
+						// Abandon the rest of the budget and let the
+						// caller migrate the burst to the new tables.
+						break
+					}
+				}
 				e.retransmits++
 				e.trace("rexmit", len(ds[i].payload), p.Now())
 				e.count("madgo_retransmits_total")
 				e.hop(ds[i].id, p.Now(), "rexmit", e.hopDetail(ds[i], hop), len(ds[i].payload))
 				aw = &relAwait{}
 				e.acks[key] = aw
+				sentAt[i] = p.Now()
 				e.sendData(p, link, ds[i], true)
-				to *= 2
-				if to > e.pol.MaxTimeout {
-					to = e.pol.MaxTimeout
-				}
+				to = e.nextTimeout(to)
 				ok = e.await(p, aw, to, "rel ack "+hop.To)
 			}
 			if !ok {
@@ -749,6 +831,13 @@ func (e *relEngine) deliverBurst(p *vtime.Proc, hop route.Hop, ds []relData) (fa
 		}
 		if e.acks[key] == aw {
 			delete(e.acks, key)
+		}
+		if mon != nil {
+			if ok {
+				mon.ReportSuccess(edge, p.Now().Sub(sentAt[i]), p.Now())
+			} else {
+				mon.ReportFailure(edge, p.Now())
+			}
 		}
 		if !ok {
 			failed = append(failed, ds[i])
@@ -840,6 +929,9 @@ func complete(aw *relAwait) {
 // packet) is barred as an intermediate hop; tables are cached per
 // (topology, constraint-set) pair.
 func (e *relEngine) nextHop(dst, exclude string, now vtime.Time) (route.Hop, bool) {
+	if e.vc.mon != nil {
+		return e.nextHopHealth(dst, exclude)
+	}
 	c, tag := e.currentDead(now)
 	if exclude != "" && exclude != dst {
 		if c.Relays == nil {
@@ -860,6 +952,51 @@ func (e *relEngine) nextHop(dst, exclude string, now vtime.Time) (route.Hop, boo
 			continue
 		}
 		key := fmt.Sprintf("%d|%s", i, tag)
+		tbl := e.tables[key]
+		if tbl == nil {
+			tbl = route.ComputeConstrained(t, c)
+			e.tables[key] = tbl
+		}
+		if r, ok := tbl.Lookup(me, dst); ok && len(r) > 0 {
+			return r[0], true
+		}
+	}
+	return route.Hop{}, false
+}
+
+// nextHopHealth is nextHop when the link-health monitor owns liveness: the
+// monitor's epoch-stamped tables are shared by every node, so all senders
+// converge on the same routes the instant a transition publishes a new
+// epoch. Only split-horizon exclusions need per-engine tables — the epoch
+// constraints merged with the barred ingress neighbour — and those are
+// cached per (topology, exclude) and invalidated wholesale on epoch change.
+func (e *relEngine) nextHopHealth(dst, exclude string) (route.Hop, bool) {
+	mon := e.vc.mon
+	me := e.node.Name
+	if ep := mon.Epoch(); ep != e.tablesEpoch {
+		e.tables = make(map[string]*route.Table)
+		e.tablesEpoch = ep
+	}
+	if exclude == "" || exclude == dst {
+		for _, tbl := range mon.Tables() {
+			if r, ok := tbl.Lookup(me, dst); ok && len(r) > 0 {
+				return r[0], true
+			}
+		}
+		return route.Hop{}, false
+	}
+	base := mon.Constraints()
+	c := route.Constraints{Nodes: base.Nodes, Edges: base.Edges}
+	c.Relays = make(map[string]bool, len(base.Relays)+1)
+	for k, v := range base.Relays {
+		c.Relays[k] = v
+	}
+	c.Relays[exclude] = true
+	for i, t := range [...]*topo.Topology{e.vc.tp, e.vc.cfg.FallbackTopo} {
+		if t == nil {
+			continue
+		}
+		key := fmt.Sprintf("h%d|x:%s", i, exclude)
 		tbl := e.tables[key]
 		if tbl == nil {
 			tbl = route.ComputeConstrained(t, c)
@@ -916,6 +1053,13 @@ func (e *relEngine) markDead(hop route.Hop, now vtime.Time) {
 	e.failovers++
 	e.trace("failover", 0, now)
 	e.count("madgo_failovers_total")
+	if mon := e.vc.mon; mon != nil {
+		// Exhausted retry budget is hard evidence: the monitor owns the
+		// state machine, the epoch bump, and the probation schedule that
+		// will eventually re-admit the link.
+		mon.ReportDead(route.Edge{From: e.node.Name, To: hop.To, Network: hop.Network}, now)
+		return
+	}
 	exp := vtime.Time(math.MaxInt64)
 	if e.pol.ReprobeAfter > 0 {
 		exp = now.Add(e.pol.ReprobeAfter)
@@ -934,6 +1078,8 @@ func (e *relEngine) handle(p *vtime.Proc, a *mad.Arrival) {
 		e.handleData(p, a.Link, slot)
 	case mad.KindRelAck:
 		e.handleAck(slot)
+	case mad.KindHealth:
+		e.handleHealth(p, a.Link, slot)
 	default:
 		panic("fwd: unexpected " + meta.Kind.String() + " message in reliable mode on " + e.node.Name)
 	}

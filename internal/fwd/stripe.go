@@ -181,8 +181,14 @@ type railKey struct {
 // stripeState is the virtual channel's striping bookkeeping, allocated only
 // when Config.StripeK > 1.
 type stripeState struct {
-	// kroutes caches route.ComputeK per ordered pair (routes are static).
+	// kroutes caches route.ComputeK per ordered pair. Routes are static
+	// unless a health monitor is armed, in which case the cache is tagged
+	// with the routing epoch it was computed under and invalidated
+	// wholesale on epoch change (see stripeRoutes).
 	kroutes map[[2]string][]route.Route
+	// epoch is the health monitor's routing epoch kroutes was built under
+	// (0 = static, no monitor).
+	epoch uint64
 	// netRate is the static bottleneck bandwidth of each network
 	// (bytes/s), from the bound NIC models.
 	netRate map[string]float64
@@ -277,12 +283,37 @@ func (vc *VirtualChannel) initStriping(bindings map[string]Binding) {
 }
 
 // stripeRoutes returns the cached rail set of one pair (nil when striping
-// is off or the pair is outside the primary topology).
+// is off or the pair is outside the primary topology). With a health
+// monitor armed the cache is epoch-aware: a death or re-admission publishes
+// a new epoch, the stale rail sets are dropped, and each pair's rails are
+// recomputed on demand with the dead edges carved out of the graph — a
+// killed rail shrinks the set (subsequent messages fall back to fewer
+// rails, or the single-route path), and a re-admitted link restores it.
 func (vc *VirtualChannel) stripeRoutes(src, dst string) []route.Route {
-	if vc.stripe == nil {
+	st := vc.stripe
+	if st == nil {
 		return nil
 	}
-	return vc.stripe.kroutes[[2]string{src, dst}]
+	mon := vc.mon
+	if mon == nil {
+		return st.kroutes[[2]string{src, dst}]
+	}
+	if ep := mon.Epoch(); ep != st.epoch {
+		st.kroutes = make(map[[2]string][]route.Route)
+		st.epoch = ep
+	}
+	key := [2]string{src, dst}
+	rs, ok := st.kroutes[key]
+	if !ok {
+		if _, in := vc.tp.Node(src); in {
+			if _, in := vc.tp.Node(dst); in {
+				rate := func(nw string) float64 { return st.netRate[nw] }
+				rs = route.ComputeKAvoiding(vc.tp, src, dst, vc.cfg.StripeK, rate, mon.DeadEdges())
+			}
+		}
+		st.kroutes[key] = rs
+	}
+	return rs
 }
 
 // routeRate is a route's static bottleneck bandwidth.
@@ -357,6 +388,10 @@ type StripeStats struct {
 	// RailFailovers is how many times a rail died mid-message in
 	// reliable mode and its residual quota moved to the surviving rails.
 	RailFailovers int64
+	// RailReadmissions is how many dead links the health monitor restored
+	// to service (each re-admission rebuilds the rail sets under a new
+	// epoch). Zero without Config.Health.
+	RailReadmissions int64
 	// RailBytes is the payload bytes scheduled onto each rail index.
 	RailBytes map[int]int64
 }
@@ -371,6 +406,9 @@ func (vc *VirtualChannel) StripeStats() StripeStats {
 	s.Messages = vc.stripe.messages
 	s.Rebalances = vc.stripe.rebalances
 	s.RailFailovers = vc.stripe.railFailovers
+	if vc.mon != nil {
+		s.RailReadmissions = vc.mon.Readmissions()
+	}
 	for k, v := range vc.stripe.railBytes {
 		s.RailBytes[k] = v
 	}

@@ -3,6 +3,7 @@ package fwd
 import (
 	"fmt"
 
+	"madgo/internal/health"
 	"madgo/internal/hw"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
@@ -71,6 +72,12 @@ type Config struct {
 	// attempted for; smaller messages take the single-rail path. 0 means
 	// DefaultStripeThreshold.
 	StripeThreshold int
+	// Health, when non-nil, arms the link-health failure detector (package
+	// health): passive evidence from the reliable protocol plus active
+	// probes drive per-link Up/Suspect/Dead/Probation states, and every
+	// death or re-admission publishes a new epoch of shared route tables.
+	// Requires Reliable; zero fields of the config take defaults.
+	Health *health.Config
 }
 
 // DefaultConfig returns the paper's forwarding configuration with a 32 KB
@@ -102,6 +109,9 @@ func (c Config) validate() error {
 	}
 	if c.StripeThreshold < 0 {
 		return fmt.Errorf("fwd: negative StripeThreshold")
+	}
+	if c.Health != nil && !c.Reliable {
+		return fmt.Errorf("fwd: Health requires Reliable")
 	}
 	return nil
 }
@@ -142,6 +152,9 @@ type VirtualChannel struct {
 	// Reliable-mode state: one engine per node, in declaration order.
 	rel      map[string]*relEngine
 	relOrder []string
+
+	// mon is the link-health monitor; nil unless Config.Health is set.
+	mon *health.Monitor
 
 	// msgSeq issues channel-global message IDs at pack time; every layer a
 	// message crosses records provenance hops under its ID. Deterministic:
@@ -281,6 +294,11 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 	}
 
 	if cfg.Reliable {
+		if cfg.Health != nil {
+			sim := sess.Platform.Sim
+			vc.mon = health.NewMonitor(*cfg.Health, tp, cfg.FallbackTopo,
+				sess.Platform.Metrics, sim.After, sim.Now)
+		}
 		vc.relOrder = buildTopo.NodeNames()
 		vc.buildReliable(buildTopo)
 		return vc, nil
@@ -371,6 +389,10 @@ func (vc *VirtualChannel) Table() *route.Table { return vc.tbl }
 
 // Config returns the forwarding configuration.
 func (vc *VirtualChannel) Config() Config { return vc.cfg }
+
+// Health returns the link-health monitor, or nil when Config.Health is
+// unset.
+func (vc *VirtualChannel) Health() *health.Monitor { return vc.mon }
 
 // Gateways returns the names of the nodes running forwarding engines,
 // sorted by name in the routing table's sense.

@@ -106,6 +106,11 @@ const (
 	// final receiver can reassemble several concurrently-arriving rails
 	// into one posted buffer.
 	KindStripe
+	// KindHealth is a heartbeat/probation probe of the link-health
+	// detector: a fixed-size request the receiver echoes back so the
+	// prober can judge the link's liveness and round-trip without any
+	// reliability machinery underneath.
+	KindHealth
 )
 
 func (k Kind) String() string {
@@ -122,6 +127,8 @@ func (k Kind) String() string {
 		return "rele2e"
 	case KindStripe:
 		return "stripe"
+	case KindHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

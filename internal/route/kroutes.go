@@ -24,8 +24,18 @@ import (
 // fewest-hops with declaration-order ties — the same preference Compute
 // uses.
 //
-// Like Lookup, ComputeK panics on unknown nodes; src == dst returns nil.
+// ComputeK panics on unknown nodes; src == dst returns nil.
 func ComputeK(t *topo.Topology, src, dst string, k int, rate func(network string) float64) []Route {
+	return ComputeKAvoiding(t, src, dst, k, rate, nil)
+}
+
+// ComputeKAvoiding is ComputeK over the graph with the given directed links
+// removed before the first extraction round. The health monitor feeds it the
+// currently-dead edge set so stripe schedulers rebuild their rail sets
+// against live connectivity only — and, symmetrically, so a readmitted link
+// (absent from avoid on the next epoch) restores the rail set to its
+// configured width.
+func ComputeKAvoiding(t *topo.Topology, src, dst string, k int, rate func(network string) float64, avoid map[Edge]bool) []Route {
 	if src == dst {
 		return nil
 	}
@@ -43,6 +53,9 @@ func ComputeK(t *topo.Topology, src, dst string, k int, rate func(network string
 		netIdx[n.Name] = i
 	}
 	usedLink := make(map[linkKey]bool)
+	for e := range avoid {
+		usedLink[linkKey{net: e.Network, from: e.From, to: e.To}] = true
+	}
 	usedGate := make(map[string]bool)
 	var routes []Route
 	for len(routes) < k {

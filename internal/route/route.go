@@ -5,12 +5,34 @@
 package route
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"madgo/internal/topo"
 )
+
+// ErrNoRoute is the sentinel wrapped by every routing failure: no path from
+// source to destination under the table's constraints. Callers match it with
+// errors.Is; the reliability layer surfaces it through DeliveryError when
+// every retry exhausted connectivity, turning what used to be a stall (or a
+// panic on a malformed query) into a typed, inspectable error.
+var ErrNoRoute = errors.New("route: no route")
+
+// NoRouteError carries the detail behind an ErrNoRoute: which pair failed
+// and why (unknown node, self-route, or constraints excluding every path).
+type NoRouteError struct {
+	Src, Dst string
+	Why      string
+}
+
+func (e *NoRouteError) Error() string {
+	return fmt.Sprintf("route: no route %s -> %s: %s", e.Src, e.Dst, e.Why)
+}
+
+// Unwrap makes errors.Is(err, ErrNoRoute) hold for every NoRouteError.
+func (e *NoRouteError) Unwrap() error { return ErrNoRoute }
 
 // Hop is one leg of a route: cross Network to reach To.
 type Hop struct {
@@ -65,6 +87,12 @@ type Table struct {
 	avoid  map[string]bool
 	avoidR map[string]bool
 	avoidE map[Edge]bool
+
+	// Epoch stamps the liveness generation this table was computed for.
+	// Tables built directly by Compute/ComputeConstrained carry epoch 0;
+	// the Manager stamps every table it publishes with its current epoch so
+	// senders can tell a stale cached table from the live one.
+	Epoch uint64
 }
 
 // Compute builds the routing table with breadth-first search over the
@@ -192,21 +220,34 @@ func (tb *Table) computeFrom(src string) {
 	}
 }
 
-// Lookup returns the route from src to dst. It panics on unknown nodes and
-// returns ok=false only for unreachable pairs, which a validated topology
-// never contains.
-func (tb *Table) Lookup(src, dst string) (Route, bool) {
+// Find returns the route from src to dst, or a *NoRouteError (matching
+// ErrNoRoute via errors.Is) describing why none exists: unknown nodes,
+// a self-route query, or constraints that exclude every path.
+func (tb *Table) Find(src, dst string) (Route, error) {
 	if src == dst {
-		panic("route: lookup of self-route " + src)
+		return nil, &NoRouteError{Src: src, Dst: dst, Why: "self-route"}
 	}
 	if _, ok := tb.topo.Node(src); !ok {
-		panic("route: unknown source " + src)
+		return nil, &NoRouteError{Src: src, Dst: dst, Why: "unknown source"}
 	}
 	if _, ok := tb.topo.Node(dst); !ok {
-		panic("route: unknown destination " + dst)
+		return nil, &NoRouteError{Src: src, Dst: dst, Why: "unknown destination"}
 	}
 	r, ok := tb.routes[[2]string{src, dst}]
-	return r, ok
+	if !ok {
+		return nil, &NoRouteError{Src: src, Dst: dst, Why: "no path under current constraints"}
+	}
+	return r, nil
+}
+
+// Lookup returns the route from src to dst. It is Find without the error
+// detail: ok=false covers unreachable pairs as well as unknown nodes and
+// self-route queries (which used to panic — a table consulted with a
+// fallback topology's nodes, or after constraints emptied the graph, is a
+// routing miss to recover from, not a programming error).
+func (tb *Table) Lookup(src, dst string) (Route, bool) {
+	r, err := tb.Find(src, dst)
+	return r, err == nil
 }
 
 // NextHop returns the first leg from src toward dst.

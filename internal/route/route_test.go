@@ -1,6 +1,7 @@
 package route
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -99,22 +100,33 @@ func TestMultiGatewayChain(t *testing.T) {
 	}
 }
 
-func TestLookupPanics(t *testing.T) {
+func TestFindNoRoute(t *testing.T) {
 	tb := paperTable(t)
-	for name, fn := range map[string]func(){
-		"self":        func() { tb.Lookup("a0", "a0") },
-		"unknown src": func() { tb.Lookup("zz", "a0") },
-		"unknown dst": func() { tb.Lookup("a0", "zz") },
+	for name, pair := range map[string][2]string{
+		"self":        {"a0", "a0"},
+		"unknown src": {"zz", "a0"},
+		"unknown dst": {"a0", "zz"},
 	} {
-		name, fn := name, fn
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+		r, err := tb.Find(pair[0], pair[1])
+		if err == nil || r != nil {
+			t.Errorf("%s: Find(%s,%s) = %v, %v; want ErrNoRoute", name, pair[0], pair[1], r, err)
+			continue
+		}
+		if !errors.Is(err, ErrNoRoute) {
+			t.Errorf("%s: error %v does not match ErrNoRoute", name, err)
+		}
+		var nre *NoRouteError
+		if !errors.As(err, &nre) || nre.Src != pair[0] || nre.Dst != pair[1] {
+			t.Errorf("%s: error %v is not a NoRouteError for the pair", name, err)
+		}
+		// Lookup mirrors Find as ok=false, never a panic.
+		if _, ok := tb.Lookup(pair[0], pair[1]); ok {
+			t.Errorf("%s: Lookup succeeded", name)
+		}
+	}
+	// A reachable pair carries no error.
+	if _, err := tb.Find("a0", "b1"); err != nil {
+		t.Errorf("Find(a0,b1) = %v", err)
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 	"madgo/internal/drivers/tcpnet"
 	"madgo/internal/fault"
 	"madgo/internal/fwd"
+	"madgo/internal/health"
 	"madgo/internal/hw"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
@@ -119,6 +120,40 @@ type (
 	MessageHop = obs.Hop
 	// Lane is the busy/stall/idle decomposition of one pipeline actor.
 	Lane = obs.Lane
+	// HealthConfig tunes the link-health failure detector attached with
+	// WithHealthMonitor; the zero value of any field selects its default.
+	HealthConfig = health.Config
+	// HealthMonitor is the running failure detector, reachable through
+	// System.Health. It owns the epochal route tables: every link death or
+	// re-admission publishes a new routing epoch the senders converge on.
+	HealthMonitor = health.Monitor
+	// LinkHealth is one directed link's externally visible condition
+	// (state, EWMA score, observed round-trip).
+	LinkHealth = health.LinkHealth
+	// LinkState is a link's position in the detector state machine.
+	LinkState = health.State
+	// HealthTransition is one recorded link state change.
+	HealthTransition = health.Transition
+	// LinkEdge identifies a directed link (From, To, Network).
+	LinkEdge = route.Edge
+	// NoRouteError reports that every route between two nodes is exhausted
+	// or excluded by liveness constraints; unwrap DeliveryError with
+	// errors.As to get it, or test errors.Is(err, ErrNoRoute).
+	NoRouteError = route.NoRouteError
+)
+
+// ErrNoRoute is the sentinel matched by errors.Is when delivery failed
+// because no live route remains (as opposed to a retry-budget timeout).
+var ErrNoRoute = route.ErrNoRoute
+
+// Link states reported by HealthMonitor.Snapshot. Up and Suspect links are
+// routable; Dead and Probation links are excluded from every route table
+// until a run of probation probes re-admits them.
+const (
+	LinkUp        = health.Up
+	LinkSuspect   = health.Suspect
+	LinkDead      = health.Dead
+	LinkProbation = health.Probation
 )
 
 // NewFaultPlan starts an empty deterministic fault plan; chain Drop,
@@ -128,6 +163,9 @@ func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
 // DefaultRetryPolicy returns the retry policy reliable mode uses when none
 // is given.
 func DefaultRetryPolicy() RetryPolicy { return fwd.DefaultRetryPolicy() }
+
+// DefaultHealthConfig returns the failure detector's documented defaults.
+func DefaultHealthConfig() HealthConfig { return health.DefaultConfig() }
 
 // Reduction operators for Comm.Reduce/AllReduce.
 var (
@@ -207,6 +245,9 @@ type Options struct {
 	// StripeThreshold is the minimum message size (bytes) striping is
 	// attempted for; 0 means fwd.DefaultStripeThreshold (16 KB).
 	StripeThreshold int
+	// Health, when non-nil, arms the link-health failure detector with
+	// epochal self-healing routes (implies reliable delivery).
+	Health *HealthConfig
 }
 
 // Option mutates Options.
@@ -292,6 +333,29 @@ func WithStripeThreshold(bytes int) Option {
 	return func(o *Options) { o.StripeThreshold = bytes }
 }
 
+// WithHealthMonitor arms the link-health failure detector with its default
+// configuration (implies WithReliableDelivery). Every link accumulates
+// passive evidence — acknowledgement round-trips, send outcomes, relay
+// stalls — into an EWMA score driving an Up/Suspect/Dead/Probation state
+// machine; idle links are heartbeat-probed. A death excludes the link from
+// routing and publishes a new epoch-stamped route table set that in-flight
+// messages migrate to; a recovered link is re-admitted (and restored to the
+// striping rail set) after a probation run of successful probes. When no
+// live route remains, delivery fails fast with an error matching ErrNoRoute
+// instead of stalling. Query the detector with System.Health.
+func WithHealthMonitor() Option {
+	return func(o *Options) {
+		hc := DefaultHealthConfig()
+		o.Health = &hc
+	}
+}
+
+// WithHealthConfig is WithHealthMonitor with an explicit detector
+// configuration.
+func WithHealthConfig(hc HealthConfig) Option {
+	return func(o *Options) { o.Health = &hc }
+}
+
 // WithReliableDelivery switches the virtual channel from the paper's
 // streaming forwarding to reliable datagram delivery: every packet is
 // checksummed and acknowledged hop by hop, lost or corrupted packets are
@@ -338,7 +402,7 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 	if plan == nil {
 		plan = tp.Faults
 	}
-	reliable := o.Reliable || plan != nil || o.Retry != nil
+	reliable := o.Reliable || plan != nil || o.Retry != nil || o.Health != nil
 	sim := vtime.New()
 	pl := hw.NewPlatform(sim)
 	if o.Metrics != nil {
@@ -397,6 +461,7 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 		if vcTopo != tp {
 			cfg.FallbackTopo = tp
 		}
+		cfg.Health = o.Health
 	}
 	vc, err := fwd.Build(sess, vcTopo, bindings, cfg)
 	if err != nil {
@@ -487,6 +552,11 @@ func (s *System) StripeStats() StripeStats { return s.Channel.StripeStats() }
 // AckStats returns the reliable mode's acknowledgement-traffic counters,
 // summed over every node. All fields are zero in streaming mode.
 func (s *System) AckStats() AckStats { return s.Channel.AckStats() }
+
+// Health returns the link-health failure detector, or nil when the system
+// was built without WithHealthMonitor. Snapshot lists per-link condition,
+// Epoch the current routing epoch, Transitions the full state-change log.
+func (s *System) Health() *HealthMonitor { return s.Channel.Health() }
 
 // Routes renders the routing table of the virtual channel.
 func (s *System) Routes() string { return s.Channel.Table().String() }
