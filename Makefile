@@ -8,7 +8,7 @@ FUZZ_TARGETS = \
 	internal/fwd:FuzzRelData internal/fwd:FuzzRelAck internal/fwd:FuzzRelDesc \
 	internal/health:FuzzHealthProbe
 
-.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate soak
+.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate o2-gate soak
 
 check: build vet race cover
 
@@ -30,6 +30,7 @@ bench:
 	$(GO) run ./cmd/madbench -json p1 > BENCH_p1.json
 	$(GO) run ./cmd/madbench -json s1 > BENCH_s1.json
 	$(GO) run ./cmd/madbench -json r2 > BENCH_r2.json
+	$(GO) run ./cmd/madbench -json o2 > BENCH_o2.json
 
 # stripe-gate archives the striping sweep and fails unless K=2 goodput on
 # the dual-rail topology is >= 1.5x the K=1 baseline at 64-128 KB. The
@@ -46,6 +47,18 @@ stripe-gate:
 r2-gate:
 	$(GO) run ./cmd/madbench -json r2 > BENCH_r2.json
 	$(GO) test ./internal/bench -run '^TestR2SelfHealingGate$$' -v
+
+# o2-gate archives the flight-recorder overhead run and fails unless (a)
+# goodput with the recorder armed stays within 5% of the disarmed run (it
+# is identical: recording costs no virtual time and zero allocations — the
+# alloc-regression test pins the latter), and (b) the critical-path
+# analyzer calls the depth-1 stream swap-overhead-bound (§3.4.1) and clears
+# the verdict at depth 8. Deterministic, so the gate test reruns the exact
+# streams the JSON archive came from.
+o2-gate:
+	$(GO) run ./cmd/madbench -json o2 > BENCH_o2.json
+	$(GO) test ./internal/bench -run '^TestO2FlightGate$$' -v
+	$(GO) test ./internal/flight -run 'ZeroAllocs' -v
 
 # soak runs the chaos property tests — random link flaps under load with
 # byte-identical payload, epoch-convergence and rail-readmission
@@ -78,4 +91,9 @@ cover:
 	@$(GO) tool cover -func=cover_fwd.out | awk -v min=$(FWD_COVER_MIN) \
 		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
 		   printf "fwd coverage: %s%% (gate: %s%%)\n", cov, min; \
+		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'
+	$(GO) test -coverprofile=cover_flight.out ./internal/flight
+	@$(GO) tool cover -func=cover_flight.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
+		   printf "flight coverage: %s%% (gate: %s%%)\n", cov, min; \
 		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'

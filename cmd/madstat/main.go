@@ -13,9 +13,13 @@
 //	madstat -config cluster.topo -from x -to y -bytes 1048576
 //	madstat -rails 2                 # multi-rail striping with per-rail breakdown
 //	madstat -health                  # arm the failure detector, print the health panel
+//	madstat -diagnose -depth 1       # name the run's pathologies (here: swap-bound)
+//	madstat -diagnose -health -flap sci0 -count 100   # the r2 flap scenario
+//	madstat -json                    # one JSON document: metrics+health+diagnosis
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,27 +35,35 @@ func main() {
 		from   = flag.String("from", "a1", "source node")
 		to     = flag.String("to", "b1", "destination node")
 		bytes  = flag.Int("bytes", 256*1024, "message size")
+		count  = flag.Int("count", 1, "number of back-to-back messages to stream")
 		mtu    = flag.Int("mtu", 32*1024, "forwarding packet size")
+		depth  = flag.Int("depth", 2, "gateway pipeline depth (1 disables pipelining)")
 		rails  = flag.Int("rails", 1, "stripe large messages across up to this many link-disjoint routes")
 
 		seed    = flag.Int64("seed", 1, "fault-injection seed")
 		loss    = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
 		corrupt = flag.Float64("corrupt", 0, "packet corruption probability (switches on reliable delivery)")
 		crash   = flag.Duration("crash", 0, "crash the gateway 'gw' at this virtual time (0 = never)")
+		flapNet = flag.String("flap", "", "flap this network mid-run (switches on reliable delivery)")
+		flapAt  = flag.Duration("flapat", 0, "virtual time the -flap outage starts (default 50ms)")
+		flapFor = flag.Duration("flapfor", 0, "virtual duration of the -flap outage (default 100ms)")
 
 		healthOn = flag.Bool("health", false, "arm the link-health failure detector and print its panel")
 
-		lanes  = flag.Bool("lanes", false, "print the pipeline-bubble lane report")
-		msgs   = flag.String("trace", "", `print message provenance: "all" or a message ID`)
-		chrome = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
-		noProm = flag.Bool("noprom", false, "suppress the Prometheus snapshot")
+		lanes    = flag.Bool("lanes", false, "print the pipeline-bubble lane report")
+		msgs     = flag.String("trace", "", `print message provenance: "all" or a message ID`)
+		chrome   = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
+		noProm   = flag.Bool("noprom", false, "suppress the Prometheus snapshot")
+		diagnose = flag.Bool("diagnose", false, "run the critical-path analyzer and print its findings")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document (metrics, stripe, health, diagnosis, flight dumps) instead of text")
 	)
 	flag.Parse()
 
 	tr := madeleine.NewTracer()
 	m := madeleine.NewMetrics()
 	opts := []madeleine.Option{
-		madeleine.WithMTU(*mtu), madeleine.WithTracer(tr), madeleine.WithMetrics(m),
+		madeleine.WithMTU(*mtu), madeleine.WithPipelineDepth(*depth),
+		madeleine.WithTracer(tr), madeleine.WithMetrics(m),
 	}
 	if *rails > 1 {
 		opts = append(opts, madeleine.WithStriping(*rails))
@@ -59,7 +71,7 @@ func main() {
 	if *healthOn {
 		opts = append(opts, madeleine.WithHealthMonitor())
 	}
-	if *loss > 0 || *corrupt > 0 || *crash > 0 {
+	if *loss > 0 || *corrupt > 0 || *crash > 0 || *flapNet != "" {
 		plan := madeleine.NewFaultPlan(*seed)
 		if *loss > 0 {
 			plan.Drop("*", *loss)
@@ -69,6 +81,16 @@ func main() {
 		}
 		if *crash > 0 {
 			plan.Crash("gw", madeleine.Time(crash.Nanoseconds()), 0)
+		}
+		if *flapNet != "" {
+			at, dur := *flapAt, *flapFor
+			if at == 0 {
+				at = 50_000_000 // 50 ms
+			}
+			if dur == 0 {
+				dur = 100_000_000 // 100 ms
+			}
+			plan.Flap(*flapNet, madeleine.Time(at.Nanoseconds()), madeleine.Duration(dur.Nanoseconds()))
 		}
 		opts = append(opts, madeleine.WithFaults(plan))
 	}
@@ -89,19 +111,28 @@ func main() {
 		fatal(err)
 	}
 
-	n := *bytes
+	n, k := *bytes, *count
 	sys.Spawn("stream", func(p *madeleine.Proc) {
-		px := sys.At(*from).BeginPacking(p, *to)
-		px.Pack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
-		px.EndPacking(p)
+		for i := 0; i < k; i++ {
+			px := sys.At(*from).BeginPacking(p, *to)
+			px.Pack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			px.EndPacking(p)
+		}
 	})
 	sys.Spawn("drain", func(p *madeleine.Proc) {
-		u := sys.At(*to).BeginUnpacking(p)
-		u.Unpack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
-		u.EndUnpacking(p)
+		for i := 0; i < k; i++ {
+			u := sys.At(*to).BeginUnpacking(p)
+			u.Unpack(p, make([]byte, n), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			u.EndUnpacking(p)
+		}
 	})
 	if err := sys.Run(); err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		emitJSON(sys, m)
+		return
 	}
 
 	if !*noProm {
@@ -157,6 +188,10 @@ func main() {
 			}
 		}
 	}
+	if *diagnose {
+		fmt.Println()
+		sys.Diagnose().Write(os.Stdout)
+	}
 	if *lanes {
 		fmt.Printf("\npipeline lanes over [0, %v):\n", madeleine.Duration(sys.Now()))
 		madeleine.WriteLaneReport(os.Stdout, sys.Lanes(0, sys.Now()))
@@ -190,6 +225,74 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "madstat: wrote %s (load it at ui.perfetto.dev)\n", *chrome)
+	}
+}
+
+// emitJSON prints the run's full observability state as one document:
+// every metric series, the striping and health panels, the critical-path
+// diagnosis, and any automatic flight dumps.
+func emitJSON(sys *madeleine.System, m *madeleine.Metrics) {
+	type linkDoc struct {
+		From    string  `json:"from"`
+		To      string  `json:"to"`
+		Network string  `json:"network"`
+		State   string  `json:"state"`
+		Score   float64 `json:"score"`
+		RTTNS   int64   `json:"rtt_ns"`
+	}
+	type healthDoc struct {
+		Epoch        uint64    `json:"epoch"`
+		Probes       int64     `json:"probes"`
+		Readmissions int64     `json:"readmissions"`
+		Links        []linkDoc `json:"links"`
+	}
+	out := struct {
+		Metrics   []madeleine.MetricSample `json:"metrics"`
+		Delivery  madeleine.DeliveryStats  `json:"delivery"`
+		Stripe    *madeleine.StripeStats   `json:"stripe,omitempty"`
+		Health    *healthDoc               `json:"health,omitempty"`
+		Diagnosis madeleine.Diagnosis      `json:"diagnosis"`
+		Dumps     []madeleine.FlightDump   `json:"flight_dumps,omitempty"`
+	}{
+		Metrics:   m.Samples(),
+		Delivery:  sys.DeliveryStats(),
+		Diagnosis: sys.Diagnose(),
+		Dumps:     sys.Flight().Dumps(),
+	}
+	if out.Metrics == nil {
+		out.Metrics = []madeleine.MetricSample{}
+	}
+	if out.Diagnosis.Findings == nil {
+		out.Diagnosis.Findings = []madeleine.Finding{}
+	}
+	if st := sys.StripeStats(); st.Messages > 0 {
+		out.Stripe = &st
+	}
+	if h := sys.Health(); h != nil {
+		hd := &healthDoc{Epoch: h.Epoch(), Probes: h.Probes(), Readmissions: h.Readmissions()}
+		snap := h.Snapshot()
+		sort.Slice(snap, func(i, j int) bool {
+			a, b := snap[i].Link, snap[j].Link
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Network < b.Network
+		})
+		for _, lh := range snap {
+			hd.Links = append(hd.Links, linkDoc{
+				From: lh.Link.From, To: lh.Link.To, Network: lh.Link.Network,
+				State: lh.State.String(), Score: lh.Score, RTTNS: int64(lh.RTT),
+			})
+		}
+		out.Health = hd
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	madtrace -crash 2ms           # the gateway dies mid-transfer
 //	madtrace -json                # machine-readable run summary on stdout
 //	madtrace -chrome run.json     # Perfetto-loadable trace_event file
+//	madtrace -budget              # per-message latency budgets + diagnosis
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON run summary instead of the timeline")
 		chromeOut = flag.String("chrome", "", "write Chrome trace_event JSON (Perfetto-loadable) to this file")
+		budget    = flag.Bool("budget", false, "print per-message latency budgets and the critical-path diagnosis")
 
 		seed    = flag.Int64("seed", 1, "fault-injection seed")
 		loss    = flag.Float64("loss", 0, "packet drop probability (switches on reliable delivery)")
@@ -125,6 +127,12 @@ func main() {
 	if ds := sys.DeliveryStats(); ds != (madeleine.DeliveryStats{}) {
 		fmt.Printf("recovery: %d retransmits, %d message resends, %d failovers, %d checksum drops, %d duplicates\n",
 			ds.Retransmits, ds.MessageResends, ds.Failovers, ds.ChecksumDrops, ds.Duplicates)
+	}
+	if *budget {
+		fmt.Println("\nlatency budgets (per message, with aggregate):")
+		madeleine.WriteBudgetReport(os.Stdout, sys.Budgets())
+		fmt.Println()
+		sys.Diagnose().Write(os.Stdout)
 	}
 	if *spans {
 		fmt.Println()

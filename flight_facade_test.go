@@ -1,0 +1,241 @@
+package madeleine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	madeleine "madgo"
+)
+
+// streamThrough runs count back-to-back messages of n bytes from src to dst
+// and fails the test on any simulation error.
+func streamThrough(t *testing.T, sys *madeleine.System, src, dst string, count, n int) {
+	t.Helper()
+	payload := make([]byte, n)
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		for i := 0; i < count; i++ {
+			px := sys.At(src).BeginPacking(p, dst)
+			px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			px.EndPacking(p)
+		}
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		buf := make([]byte, n)
+		for i := 0; i < count; i++ {
+			u := sys.At(dst).BeginUnpacking(p)
+			u.Unpack(p, buf, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			u.EndUnpacking(p)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiagnoseSwapBoundFlip is the issue's acceptance scenario for the
+// §3.4.1 pathology: the same forwarded stream is swap-overhead-bound at
+// pipeline depth 1 and healthy (of that pathology) at depth 8.
+func TestDiagnoseSwapBoundFlip(t *testing.T) {
+	verdict := func(depth int) madeleine.Diagnosis {
+		m := madeleine.NewMetrics()
+		sys, err := madeleine.NewSystem(demoConfig,
+			madeleine.WithMetrics(m),
+			madeleine.WithPipelineDepth(depth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamThrough(t, sys, "a0", "b0", 8, 128*1024)
+		return sys.Diagnose()
+	}
+
+	shallow := verdict(1)
+	if !shallow.Has(madeleine.DiagSwapBound) {
+		t.Errorf("depth-1 run not diagnosed swap-overhead-bound: %+v", shallow.Findings)
+	}
+	deep := verdict(8)
+	if deep.Has(madeleine.DiagSwapBound) {
+		t.Errorf("depth-8 run still diagnosed swap-overhead-bound: %+v", deep.Findings)
+	}
+}
+
+// TestDiagnoseRetransmitBoundUnderFlap mirrors the r2 recovery scenario: a
+// link flap mid-stream drives retransmissions and backoff, and the analyzer
+// names the run retransmit-bound.
+func TestDiagnoseRetransmitBoundUnderFlap(t *testing.T) {
+	plan := madeleine.NewFaultPlan(42).Flap("sci0", madeleine.Time(10*madeleine.Millisecond), 60*madeleine.Millisecond)
+	m := madeleine.NewMetrics()
+	sys, err := madeleine.NewSystem(demoConfig,
+		madeleine.WithMetrics(m),
+		madeleine.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamThrough(t, sys, "a0", "b1", 40, 32*1024)
+	if sys.DeliveryStats().Retransmits == 0 {
+		t.Fatal("flap run saw zero retransmissions; the diagnosis below would be vacuous")
+	}
+	d := sys.Diagnose()
+	if !d.Has(madeleine.DiagRexmitBound) {
+		t.Errorf("flap run not diagnosed retransmit-bound: %+v", d.Findings)
+	}
+	var f madeleine.Finding
+	for _, cand := range d.Findings {
+		if cand.Code == madeleine.DiagRexmitBound {
+			f = cand
+		}
+	}
+	if len(f.Evidence) == 0 || !strings.Contains(strings.Join(f.Evidence, " "), "outage window") {
+		t.Errorf("retransmit-bound finding names no outage window: %+v", f)
+	}
+}
+
+// TestFlightBudgets checks the per-message latency budgets: every streamed
+// message gets one, wire time is attributed, and the report renders.
+func TestFlightBudgets(t *testing.T) {
+	m := madeleine.NewMetrics()
+	sys, err := madeleine.NewSystem(demoConfig, madeleine.WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamThrough(t, sys, "a0", "b0", 3, 64*1024)
+	bs := sys.Budgets()
+	if len(bs) != 3 {
+		t.Fatalf("Budgets() returned %d budgets, want 3", len(bs))
+	}
+	for _, b := range bs {
+		if b.Total <= 0 {
+			t.Errorf("message %d: non-positive total %v", b.Msg, b.Total)
+		}
+		if b.Stages[madeleine.StageWire] <= 0 {
+			t.Errorf("message %d: no wire time attributed", b.Msg)
+		}
+		if b.Stages[madeleine.StageSwap] <= 0 {
+			t.Errorf("message %d: no buffer-swap time attributed on a forwarded route", b.Msg)
+		}
+	}
+	var report bytes.Buffer
+	madeleine.WriteBudgetReport(&report, bs)
+	for _, want := range []string{"wire", "buffer-swap", "all"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("budget report missing %q:\n%s", want, report.String())
+		}
+	}
+}
+
+// TestFlightDumpOnDeliveryError checks the automatic snapshot: a run that
+// ends in a DeliveryError leaves a flight dump naming the failure.
+func TestFlightDumpOnDeliveryError(t *testing.T) {
+	plan := madeleine.NewFaultPlan(3).Crash("gw", madeleine.Time(2*madeleine.Millisecond), madeleine.Second)
+	sys, err := madeleine.NewSystem(demoConfig, madeleine.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 256*1024)
+	sys.Spawn("sender", func(p *madeleine.Proc) {
+		px := sys.At("a0").BeginPacking(p, "b0")
+		px.Pack(p, payload, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		px.EndPacking(p)
+	})
+	sys.Spawn("receiver", func(p *madeleine.Proc) {
+		u := sys.At("b0").BeginUnpacking(p)
+		u.Unpack(p, make([]byte, len(payload)), madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		u.EndUnpacking(p)
+	})
+	runErr := sys.Run()
+	if runErr == nil {
+		t.Fatal("crashed-gateway run succeeded; expected a delivery error")
+	}
+	dumps := sys.Flight().Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("delivery error left no flight dump")
+	}
+	if !strings.Contains(dumps[0].Reason, "delivery-error") {
+		t.Errorf("dump reason = %q, want a delivery-error reason", dumps[0].Reason)
+	}
+	var out bytes.Buffer
+	if err := sys.WriteFlightJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rings []struct {
+			Node   string            `json:"node"`
+			Events []json.RawMessage `json:"events"`
+		} `json:"rings"`
+		Dumps []struct {
+			Reason string `json:"reason"`
+		} `json:"dumps"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("flight JSON does not parse: %v", err)
+	}
+	if len(doc.Rings) == 0 || len(doc.Dumps) == 0 {
+		t.Errorf("flight JSON has %d rings and %d dumps, want both non-empty", len(doc.Rings), len(doc.Dumps))
+	}
+}
+
+// TestFlightChromeReplay checks that flight events replay into the Chrome
+// exporter: with no tracer attached, the trace still carries per-node
+// flight spans.
+func TestFlightChromeReplay(t *testing.T) {
+	sys, err := madeleine.NewSystem(demoConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamThrough(t, sys, "a0", "b0", 2, 64*1024)
+	var chrome bytes.Buffer
+	if err := sys.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// Find the pid of the "flight" process, then count spans in it.
+	flightPid := -1.0
+	for _, ev := range doc.TraceEvents {
+		if name, _ := ev["name"].(string); name == "process_name" {
+			if args, _ := ev["args"].(map[string]any); args != nil && args["name"] == "flight" {
+				flightPid, _ = ev["pid"].(float64)
+			}
+		}
+	}
+	if flightPid < 0 {
+		t.Fatal("chrome trace has no \"flight\" process")
+	}
+	var flightSpans int
+	for _, ev := range doc.TraceEvents {
+		if ph, _ := ev["ph"].(string); ph == "X" && ev["pid"] == flightPid {
+			flightSpans++
+		}
+	}
+	if flightSpans == 0 {
+		t.Error("chrome trace has no flight-recorder spans")
+	}
+}
+
+// TestWithoutFlightRecorder checks the opt-out: no recorder, and every
+// flight query degrades to zero values instead of panicking.
+func TestWithoutFlightRecorder(t *testing.T) {
+	sys, err := madeleine.NewSystem(demoConfig, madeleine.WithoutFlightRecorder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamThrough(t, sys, "a0", "b0", 1, 64*1024)
+	if sys.Flight() != nil {
+		t.Fatal("WithoutFlightRecorder left a recorder armed")
+	}
+	if bs := sys.Budgets(); bs != nil {
+		t.Errorf("Budgets() without a recorder = %v, want nil", bs)
+	}
+	if d := sys.Diagnose(); !d.Healthy() {
+		t.Errorf("Diagnose() without a recorder = %+v, want healthy", d.Findings)
+	}
+	var out bytes.Buffer
+	if err := sys.WriteFlightJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"madgo/internal/flight"
+)
+
+// TestO2FlightGate is the CI gate for the flight recorder: arming it must
+// not perturb the simulation (goodput ratio within the 5% budget — in fact
+// identical, since recording costs no virtual time), the depth-1 run must
+// be diagnosed swap-overhead-bound (§3.4.1), and the depth-8 run must
+// clear that verdict. The BENCH_o2.json archive `make o2-gate` produces
+// comes from the identical deterministic runs, so gating the numbers gates
+// the archive.
+func TestO2FlightGate(t *testing.T) {
+	const msg, pkt = 512 * kb, 128 * kb
+
+	off1 := runFlightStream(1, pkt, msg, false)
+	on1 := runFlightStream(1, pkt, msg, true)
+	if ratio := on1.MBps / off1.MBps; ratio < 0.95 {
+		t.Errorf("depth-1 goodput with recorder on is %.3fx the disarmed run, budget is 0.95", ratio)
+	}
+	if on1.MBps != off1.MBps {
+		t.Errorf("recorder perturbed the simulation: %.3f MB/s armed vs %.3f disarmed", on1.MBps, off1.MBps)
+	}
+	if on1.Events == 0 {
+		t.Fatal("armed depth-1 run recorded no flight events")
+	}
+	if !on1.Diag.Has(flight.CodeSwapBound) {
+		t.Errorf("depth-1 run not diagnosed swap-overhead-bound: %+v", on1.Diag.Findings)
+	}
+
+	off8 := runFlightStream(8, pkt, msg, false)
+	on8 := runFlightStream(8, pkt, msg, true)
+	if ratio := on8.MBps / off8.MBps; ratio < 0.95 {
+		t.Errorf("depth-8 goodput with recorder on is %.3fx the disarmed run, budget is 0.95", ratio)
+	}
+	if on8.Diag.Has(flight.CodeSwapBound) {
+		t.Errorf("depth-8 run still diagnosed swap-overhead-bound: %+v", on8.Diag.Findings)
+	}
+
+	// The cure must also be visible as performance, not just as a verdict.
+	if on8.MBps <= on1.MBps {
+		t.Errorf("deepening the pipeline did not raise goodput: %.1f MB/s at depth 8 vs %.1f at depth 1",
+			on8.MBps, on1.MBps)
+	}
+}
+
+// TestO2Experiment smoke-runs the registered experiment and requires a
+// WARNING-free result at quick settings with both verdict rows present.
+func TestO2Experiment(t *testing.T) {
+	r := mustRun(t, "o2", quick)
+	for _, note := range r.Notes {
+		if strings.HasPrefix(note, "WARNING") {
+			t.Errorf("o2 flagged: %s", note)
+		}
+	}
+	if len(r.Table) != 2 {
+		t.Fatalf("o2 table has %d rows, want 2 depths", len(r.Table))
+	}
+	if got := r.Table[0][5]; got != "yes" {
+		t.Errorf("depth-1 swap-bound verdict = %q, want \"yes\"", got)
+	}
+	if got := r.Table[1][5]; got != "no" {
+		t.Errorf("depth-8 swap-bound verdict = %q, want \"no\"", got)
+	}
+}

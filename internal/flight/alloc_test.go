@@ -1,0 +1,45 @@
+package flight
+
+import (
+	"testing"
+
+	"madgo/internal/vtime"
+)
+
+// The recorder is always on, so its hot path must match the PR 3 pool
+// discipline: recording an event and snapshotting a ring are 0 allocs/op.
+// Ring lookup (Recorder.Ring) is excluded — instrumentation caches its
+// ring after the first call.
+
+func TestRecordZeroAllocs(t *testing.T) {
+	rec := NewRecorder(256)
+	r := rec.Ring("gw")
+	var at vtime.Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		at += vtime.Time(vtime.Microsecond)
+		r.Record(KindSend, at, 5*vtime.Microsecond, 17, 32*1024, "sci0")
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotIntoZeroAllocs(t *testing.T) {
+	rec := NewRecorder(256)
+	r := rec.Ring("gw")
+	for i := 0; i < 512; i++ { // wrapped, so the copy spans the seam
+		r.Record(KindRecv, vtime.Time(i), 0, uint64(i), 64, "myri0")
+	}
+	buf := make([]Event, 0, 256)
+	var got int
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = r.SnapshotInto(buf)
+		got = len(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("SnapshotInto allocates %.1f allocs/op, want 0", allocs)
+	}
+	if got != 256 {
+		t.Fatalf("snapshot len = %d, want 256", got)
+	}
+}

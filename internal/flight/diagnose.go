@@ -1,0 +1,325 @@
+// The diagnosis pass: rules over latency budgets and raw recorder events
+// that name the paper's pathologies when their signatures appear.
+//
+//   - swap-overhead-bound (§3.4.1): the gateway relay is serialized on the
+//     fixed buffer-swap software overhead — each receive stalls for a full
+//     send+swap cycle, the depth-1 signature.
+//   - stall-bound: relay receive threads wait a substantial share of the
+//     gateway's occupancy for free buffers without full serialization —
+//     the pipeline is too shallow (or egress simply lags ingress).
+//   - pio-dma-conflict (§3.4.1): processor PIO sends on a network progress
+//     well below their nominal rate while card-initiated DMA traffic is
+//     active — the shared-PCI-bus contention signature where DMA
+//     transactions outrank and starve the CPU's PIO loop.
+//   - retransmit-bound: expired ack waits and resend backoffs dominate the
+//     latency budget — a lossy or flapping link, not the data path, is
+//     the bottleneck.
+
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"madgo/internal/vtime"
+)
+
+// Diagnosis codes, one per named pathology.
+const (
+	CodeSwapBound   = "swap-overhead-bound"
+	CodeStallBound  = "stall-bound"
+	CodePIODMA      = "pio-dma-conflict"
+	CodeRexmitBound = "retransmit-bound"
+)
+
+// Rule thresholds. serializationMin is the stall/(send+swap) ratio above
+// which the relay counts as fully serialized (depth-1 measures ~1.0, a
+// deep pipeline limited only by rate imbalance measures ~0.5).
+const (
+	serializationMin = 0.85
+	stallShareMin    = 0.20
+	pioRateFactor    = 0.75
+	rexmitShareMin   = 0.15
+)
+
+// Signals is the configuration context the rules read alongside the
+// measurements: pipeline depth and MTU for the verdict text, and the
+// nominal send rate plus bus class of every network for the PIO/DMA rule.
+// Callers build it from the NIC models they bound (fwd exposes
+// VirtualChannel.DiagnosisSignals).
+type Signals struct {
+	PipelineDepth int
+	MTU           int
+	NetRate       map[string]float64 // nominal payload send rate, bytes/s
+	PIONet        map[string]bool    // send engine is processor PIO
+	DMANet        map[string]bool    // send engine is card-initiated DMA
+}
+
+// Finding is one fired rule.
+type Finding struct {
+	Code     string   `json:"code"`
+	Severity float64  `json:"severity"` // 0..1, how dominant the pathology is
+	Summary  string   `json:"summary"`
+	Evidence []string `json:"evidence,omitempty"`
+}
+
+// Diagnosis is the result of one pass: the aggregate budget the rules ran
+// over plus every finding, most severe first.
+type Diagnosis struct {
+	Aggregate AggregateBudget `json:"-"`
+	Findings  []Finding       `json:"findings"`
+}
+
+// Healthy reports whether no rule fired.
+func (d Diagnosis) Healthy() bool { return len(d.Findings) == 0 }
+
+// Has reports whether a finding with the given code fired.
+func (d Diagnosis) Has(code string) bool {
+	for _, f := range d.Findings {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// Write renders the diagnosis as the human panel madstat -diagnose prints.
+func (d Diagnosis) Write(w io.Writer) {
+	if d.Healthy() {
+		fmt.Fprintln(w, "diagnosis: healthy — no pathology signature found")
+		return
+	}
+	fmt.Fprintf(w, "diagnosis: %d finding(s)\n", len(d.Findings))
+	for _, f := range d.Findings {
+		fmt.Fprintf(w, "  [%s] severity %.2f\n    %s\n", f.Code, f.Severity, f.Summary)
+		for _, ev := range f.Evidence {
+			fmt.Fprintf(w, "      - %s\n", ev)
+		}
+	}
+}
+
+// kindStats accumulates count/sum for one event kind.
+type kindStats struct {
+	n   int
+	sum vtime.Duration
+}
+
+func (s kindStats) mean() vtime.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / vtime.Duration(s.n)
+}
+
+// Diagnose runs the rule set over per-message budgets and the full event
+// stream. budgets drive the retransmit rule; the gateway and wire rules
+// read events directly so they also work on runs without provenance hops.
+func Diagnose(budgets []Budget, events []Event, sig Signals) Diagnosis {
+	d := Diagnosis{Aggregate: Aggregate(budgets)}
+
+	d.diagnoseGateway(events, sig)
+	d.diagnoseWire(events, sig)
+	d.diagnoseRexmit(budgets, events)
+
+	sort.SliceStable(d.Findings, func(i, j int) bool {
+		if d.Findings[i].Severity != d.Findings[j].Severity {
+			return d.Findings[i].Severity > d.Findings[j].Severity
+		}
+		return d.Findings[i].Code < d.Findings[j].Code
+	})
+	return d
+}
+
+// diagnoseGateway applies the swap-overhead-bound / stall-bound pair. Only
+// sends recorded by nodes that also recorded swaps count — those are the
+// relay's egress transmissions the stall ratio is defined against.
+func (d *Diagnosis) diagnoseGateway(events []Event, sig Signals) {
+	gw := make(map[string]bool)
+	for _, e := range events {
+		if e.Kind == KindSwap {
+			gw[e.Node] = true
+		}
+	}
+	if len(gw) == 0 {
+		return
+	}
+	var swap, stall, send kindStats
+	for _, e := range events {
+		if !gw[e.Node] {
+			continue
+		}
+		switch e.Kind {
+		case KindSwap:
+			swap.n++
+			swap.sum += e.Dur
+		case KindStall:
+			stall.n++
+			stall.sum += e.Dur
+		case KindSend:
+			send.n++
+			send.sum += e.Dur
+		}
+	}
+	cycle := send.mean() + swap.mean()
+	if stall.n < 2 || cycle <= 0 {
+		return
+	}
+	ser := stall.mean().Seconds() / cycle.Seconds()
+	occupancy := (send.sum + swap.sum + stall.sum).Seconds()
+	share := 0.0
+	if occupancy > 0 {
+		share = stall.sum.Seconds() / occupancy
+	}
+	evidence := []string{
+		fmt.Sprintf("mean stall %v over %d stalls vs mean send %v + mean swap %v (ratio %.2f)",
+			stall.mean(), stall.n, send.mean(), swap.mean(), ser),
+		fmt.Sprintf("stalls are %.0f%% of gateway relay occupancy; pipeline depth %d, MTU %d",
+			100*share, sig.PipelineDepth, sig.MTU),
+	}
+	switch {
+	case ser >= serializationMin:
+		sev := ser
+		if sev > 1 {
+			sev = 1
+		}
+		d.Findings = append(d.Findings, Finding{
+			Code: CodeSwapBound, Severity: sev,
+			Summary: fmt.Sprintf("the gateway relay is serialized on the buffer swap: every receive "+
+				"waits out a full send+swap cycle (§3.4.1 fixed overhead); deepen the pipeline "+
+				"(current depth %d)", sig.PipelineDepth),
+			Evidence: evidence,
+		})
+	case share >= stallShareMin:
+		d.Findings = append(d.Findings, Finding{
+			Code: CodeStallBound, Severity: share,
+			Summary: fmt.Sprintf("gateway receive threads spend %.0f%% of relay occupancy waiting "+
+				"for free buffers at depth %d: ingress outpaces egress", 100*share, sig.PipelineDepth),
+			Evidence: evidence,
+		})
+	}
+}
+
+// diagnoseWire applies the pio-dma-conflict rule to link-level wire
+// events: a PIO-class network progressing below pioRateFactor of its
+// nominal rate while DMA-class traffic overlaps it in time.
+func (d *Diagnosis) diagnoseWire(events []Event, sig Signals) {
+	type netStats struct {
+		bytes       int64
+		dur         vtime.Duration
+		first, last vtime.Time
+	}
+	nets := make(map[string]*netStats)
+	for _, e := range events {
+		if e.Kind != KindWire || e.Net == "" {
+			continue
+		}
+		s := nets[e.Net]
+		if s == nil {
+			s = &netStats{first: -1}
+			nets[e.Net] = s
+		}
+		t0 := e.At
+		if e.Dur > 0 && vtime.Time(e.Dur) <= e.At {
+			t0 = e.At.Add(-e.Dur)
+		}
+		if s.first < 0 || t0 < s.first {
+			s.first = t0
+		}
+		if e.At > s.last {
+			s.last = e.At
+		}
+		s.bytes += int64(e.Bytes)
+		s.dur += e.Dur
+	}
+	names := make([]string, 0, len(nets))
+	for n := range nets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := nets[name]
+		nominal := sig.NetRate[name]
+		if !sig.PIONet[name] || nominal <= 0 || s.dur <= 0 {
+			continue
+		}
+		observed := float64(s.bytes) / s.dur.Seconds()
+		if observed >= pioRateFactor*nominal {
+			continue
+		}
+		for _, other := range names {
+			o := nets[other]
+			if other == name || !sig.DMANet[other] || o.bytes == 0 {
+				continue
+			}
+			if o.first > s.last || s.first > o.last {
+				continue // no temporal overlap, not a contention signature
+			}
+			d.Findings = append(d.Findings, Finding{
+				Code:     CodePIODMA,
+				Severity: 1 - observed/nominal,
+				Summary: fmt.Sprintf("PIO sends on %s progress at %.1f MB/s against a %.1f MB/s nominal "+
+					"rate while DMA traffic is active on %s: card-initiated DMA PCI transactions "+
+					"outrank and starve the processor's PIO loop (§3.4.1)",
+					name, observed/1e6, nominal/1e6, other),
+				Evidence: []string{
+					fmt.Sprintf("%s: %d bytes over %v of wire time ([%v, %v])",
+						name, s.bytes, s.dur, vtime.Duration(s.first), vtime.Duration(s.last)),
+					fmt.Sprintf("%s: %d bytes active over [%v, %v]",
+						other, o.bytes, vtime.Duration(o.first), vtime.Duration(o.last)),
+				},
+			})
+			break
+		}
+	}
+}
+
+// diagnoseRexmit applies the retransmit-bound rule: the retransmit+backoff
+// stage claiming rexmitShareMin of the aggregate end-to-end latency. The
+// evidence names the outage window spanned by the retransmit events.
+func (d *Diagnosis) diagnoseRexmit(budgets []Budget, events []Event) {
+	frac := d.Aggregate.Fraction(StageRexmit)
+	if frac < rexmitShareMin {
+		return
+	}
+	affected := 0
+	for _, b := range budgets {
+		if b.Stages[StageRexmit] > 0 {
+			affected++
+		}
+	}
+	first, last := vtime.Time(-1), vtime.Time(-1)
+	count := 0
+	for _, e := range events {
+		if e.Kind != KindRexmit && e.Kind != KindBackoff {
+			continue
+		}
+		count++
+		t0 := e.At
+		if e.Dur > 0 && vtime.Time(e.Dur) <= e.At {
+			t0 = e.At.Add(-e.Dur)
+		}
+		if first < 0 || t0 < first {
+			first = t0
+		}
+		if e.At > last {
+			last = e.At
+		}
+	}
+	sev := 2 * frac
+	if sev > 1 {
+		sev = 1
+	}
+	f := Finding{
+		Code: CodeRexmitBound, Severity: sev,
+		Summary: fmt.Sprintf("retransmits and backoffs account for %.0f%% of end-to-end latency "+
+			"across %d of %d messages: a lossy or flapping link, not the data path, is the bottleneck",
+			100*frac, affected, d.Aggregate.Messages),
+	}
+	if first >= 0 {
+		f.Evidence = append(f.Evidence, fmt.Sprintf(
+			"%d retransmit/backoff events in the outage window [%v, %v]",
+			count, vtime.Duration(first), vtime.Duration(last)))
+	}
+	d.Findings = append(d.Findings, f)
+}

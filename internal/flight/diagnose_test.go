@@ -1,0 +1,258 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"madgo/internal/obs"
+	"madgo/internal/vtime"
+)
+
+const ms = vtime.Millisecond
+
+func TestAnalyzeMessageBudget(t *testing.T) {
+	hops := []obs.Hop{
+		{Msg: 7, At: 0, Node: "a", Op: "pack"},
+		{Msg: 7, At: vtime.Time(10 * ms), Node: "b", Op: "deliver"},
+	}
+	events := []Event{
+		{At: vtime.Time(1 * ms), Dur: 1 * ms, Kind: KindPack, Msg: 7, Node: "a"},
+		{At: vtime.Time(4 * ms), Dur: 3 * ms, Kind: KindSend, Msg: 7, Node: "a", Net: "sci0"},
+		{At: vtime.Time(5 * ms), Dur: 1 * ms, Kind: KindQueueWait, Msg: 7, Node: "gw"},
+		{At: vtime.Time(9 * ms), Dur: 2 * ms, Kind: KindRexmit, Msg: 7, Node: "a"},
+		{At: vtime.Time(9 * ms), Dur: 1 * ms, Kind: KindBackoff, Msg: 7, Node: "a"},
+		// not a budget stage: wire events feed the PIO/DMA rule instead
+		{At: vtime.Time(4 * ms), Dur: 3 * ms, Kind: KindWire, Msg: 7, Node: "a", Net: "sci0"},
+	}
+	b := AnalyzeMessage(7, hops, events)
+	if b.Total != 10*ms {
+		t.Fatalf("total = %v", b.Total)
+	}
+	if b.Stages[StagePack] != 1*ms || b.Stages[StageWire] != 3*ms ||
+		b.Stages[StageQueueWait] != 1*ms || b.Stages[StageRexmit] != 3*ms {
+		t.Fatalf("stages = %v", b.Stages)
+	}
+	if b.Attributed() != 8*ms || b.Other != 2*ms || b.Overlap != 0 {
+		t.Fatalf("attributed %v other %v overlap %v", b.Attributed(), b.Other, b.Overlap)
+	}
+	if f := b.Fraction(StageWire); f < 0.29 || f > 0.31 {
+		t.Fatalf("wire fraction = %.2f", f)
+	}
+	if b.Events != 5 {
+		t.Fatalf("events = %d", b.Events)
+	}
+}
+
+func TestAnalyzeMessagePipelinedOverlap(t *testing.T) {
+	// Two overlapping 8 ms sends inside a 10 ms window: 6 ms of the
+	// attributed work exceeds the wall-clock total and must surface as
+	// Overlap, not vanish.
+	events := []Event{
+		{At: vtime.Time(8 * ms), Dur: 8 * ms, Kind: KindSend, Msg: 1},
+		{At: vtime.Time(10 * ms), Dur: 8 * ms, Kind: KindRecv, Msg: 1},
+	}
+	b := AnalyzeMessage(1, nil, events)
+	if b.Total != 10*ms || b.Overlap != 6*ms || b.Other != 0 {
+		t.Fatalf("total %v overlap %v other %v", b.Total, b.Overlap, b.Other)
+	}
+}
+
+func TestAnalyzeMessageEmpty(t *testing.T) {
+	b := AnalyzeMessage(3, nil, nil)
+	if b.Total != 0 || b.Start != 0 || b.End != 0 || b.Events != 0 {
+		t.Fatalf("empty budget = %+v", b)
+	}
+	if b.Fraction(StageWire) != 0 {
+		t.Fatal("empty fraction not 0")
+	}
+}
+
+func TestIndexByMessage(t *testing.T) {
+	events := []Event{
+		{Kind: KindSend, Msg: 1}, {Kind: KindRecv, Msg: 2}, {Kind: KindSend, Msg: 1},
+		{Kind: KindProbe, Msg: 0}, // unattributed, skipped
+	}
+	idx := IndexByMessage(events)
+	if len(idx) != 2 || len(idx[1]) != 2 || len(idx[2]) != 1 {
+		t.Fatalf("index = %v", idx)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var b1, b2 Budget
+	b1.Total, b1.Stages[StageSwap], b1.Other = 10*ms, 4*ms, 6*ms
+	b2.Total, b2.Stages[StageSwap], b2.Overlap = 6*ms, 8*ms, 2*ms
+	a := Aggregate([]Budget{b1, b2})
+	if a.Messages != 2 || a.Total != 16*ms || a.Stages[StageSwap] != 12*ms ||
+		a.Other != 6*ms || a.Overlap != 2*ms {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	if f := a.Fraction(StageSwap); f < 0.74 || f > 0.76 {
+		t.Fatalf("fraction = %.2f", f)
+	}
+}
+
+func TestWriteBudgetsTable(t *testing.T) {
+	var b Budget
+	b.Msg, b.Total, b.Stages[StageWire] = 5, 2*ms, 1*ms
+	var buf bytes.Buffer
+	WriteBudgets(&buf, []Budget{b})
+	out := buf.String()
+	for _, want := range []string{"msg", "buffer-swap", "retransmit+backoff", "all", "2ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("budget table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// gatewayEvents synthesizes a depth-d relay pattern: per cycle one recv,
+// one swap, one send and one stall of the given duration on node gw.
+func gatewayEvents(cycles int, send, swap, stall vtime.Duration) []Event {
+	var out []Event
+	at := vtime.Time(0)
+	for i := 0; i < cycles; i++ {
+		at = at.Add(send + swap + stall)
+		out = append(out,
+			Event{At: at, Dur: stall, Kind: KindStall, Node: "gw"},
+			Event{At: at, Dur: swap, Kind: KindSwap, Node: "gw"},
+			Event{At: at, Dur: send, Kind: KindSend, Node: "gw", Net: "sci0"},
+			Event{At: at, Dur: send / 2, Kind: KindRecv, Node: "gw", Net: "myri0"},
+		)
+	}
+	return out
+}
+
+func TestDiagnoseSwapBoundFiresWhenSerialized(t *testing.T) {
+	// Depth-1 signature: each stall spans a full send+swap cycle.
+	events := gatewayEvents(20, 700*vtime.Microsecond, 40*vtime.Microsecond, 740*vtime.Microsecond)
+	d := Diagnose(nil, events, Signals{PipelineDepth: 1, MTU: 32 * 1024})
+	if !d.Has(CodeSwapBound) {
+		t.Fatalf("swap-overhead-bound did not fire: %+v", d.Findings)
+	}
+	if d.Has(CodeStallBound) {
+		t.Fatal("stall-bound must not fire alongside swap-bound")
+	}
+	if d.Healthy() {
+		t.Fatal("diagnosis claims healthy")
+	}
+	var buf bytes.Buffer
+	d.Write(&buf)
+	if !strings.Contains(buf.String(), CodeSwapBound) {
+		t.Fatalf("panel missing code:\n%s", buf.String())
+	}
+}
+
+func TestDiagnoseSwapBoundClearsWhenPipelined(t *testing.T) {
+	// Deep-pipeline signature: stalls shrink to the rate imbalance
+	// (send - recv), about half the cycle. swap-bound must clear; the
+	// residual surfaces as stall-bound.
+	events := gatewayEvents(20, 1450*vtime.Microsecond, 40*vtime.Microsecond, 750*vtime.Microsecond)
+	d := Diagnose(nil, events, Signals{PipelineDepth: 8, MTU: 32 * 1024})
+	if d.Has(CodeSwapBound) {
+		t.Fatalf("swap-overhead-bound fired at depth 8: %+v", d.Findings)
+	}
+	if !d.Has(CodeStallBound) {
+		t.Fatalf("stall-bound should name the residual imbalance: %+v", d.Findings)
+	}
+}
+
+func TestDiagnoseGatewayNeedsEvidence(t *testing.T) {
+	// One lone stall is not a signature.
+	events := gatewayEvents(1, 700*us, 40*us, 740*us)
+	d := Diagnose(nil, events, Signals{PipelineDepth: 1})
+	if !d.Healthy() {
+		t.Fatalf("fired on a single stall: %+v", d.Findings)
+	}
+	// No swaps at all: the gateway rules stay silent.
+	d = Diagnose(nil, []Event{{Kind: KindStall, Dur: ms, Node: "x"}}, Signals{})
+	if !d.Healthy() {
+		t.Fatalf("fired without swap evidence: %+v", d.Findings)
+	}
+	var buf bytes.Buffer
+	d.Write(&buf)
+	if !strings.Contains(buf.String(), "healthy") {
+		t.Fatalf("healthy panel wrong:\n%s", buf.String())
+	}
+}
+
+func TestDiagnosePIODMAConflict(t *testing.T) {
+	sig := Signals{
+		NetRate: map[string]float64{"sci0": 44e6, "myri0": 47e6},
+		PIONet:  map[string]bool{"sci0": true},
+		DMANet:  map[string]bool{"myri0": true},
+	}
+	mkWire := func(net string, rate float64, n int) []Event {
+		var out []Event
+		at := vtime.Time(0)
+		bytes := 32 * 1024
+		for i := 0; i < n; i++ {
+			d := vtime.Duration(float64(bytes) / rate * 1e9)
+			at = at.Add(d)
+			out = append(out, Event{At: at, Dur: d, Kind: KindWire, Bytes: int32(bytes), Net: net, Node: "gw"})
+		}
+		return out
+	}
+	// Demoted PIO (22 MB/s vs 44 nominal) overlapping active DMA traffic.
+	events := append(mkWire("sci0", 22e6, 10), mkWire("myri0", 47e6, 10)...)
+	d := Diagnose(nil, events, sig)
+	if !d.Has(CodePIODMA) {
+		t.Fatalf("pio-dma-conflict did not fire: %+v", d.Findings)
+	}
+	// At full nominal rate the rule stays silent.
+	events = append(mkWire("sci0", 44e6, 10), mkWire("myri0", 47e6, 10)...)
+	if d := Diagnose(nil, events, sig); d.Has(CodePIODMA) {
+		t.Fatalf("fired at nominal rate: %+v", d.Findings)
+	}
+	// Demoted but with no DMA traffic anywhere: no conflict to blame.
+	if d := Diagnose(nil, mkWire("sci0", 22e6, 10), sig); d.Has(CodePIODMA) {
+		t.Fatalf("fired without DMA traffic: %+v", d.Findings)
+	}
+}
+
+func TestDiagnoseRetransmitBound(t *testing.T) {
+	var clean, hit Budget
+	clean.Msg, clean.Total = 1, 2*ms
+	hit.Msg, hit.Total = 2, 40*ms
+	hit.Stages[StageRexmit] = 30 * ms
+	events := []Event{
+		{At: vtime.Time(60 * ms), Dur: 10 * ms, Kind: KindRexmit, Msg: 2, Node: "a"},
+		{At: vtime.Time(90 * ms), Dur: 20 * ms, Kind: KindBackoff, Msg: 2, Node: "a"},
+	}
+	d := Diagnose([]Budget{clean, hit}, events, Signals{})
+	if !d.Has(CodeRexmitBound) {
+		t.Fatalf("retransmit-bound did not fire: %+v", d.Findings)
+	}
+	var found Finding
+	for _, f := range d.Findings {
+		if f.Code == CodeRexmitBound {
+			found = f
+		}
+	}
+	if len(found.Evidence) == 0 || !strings.Contains(found.Evidence[0], "[50ms, 90ms]") {
+		t.Fatalf("outage window missing from evidence: %+v", found.Evidence)
+	}
+	// Without meaningful retransmit share the rule stays silent.
+	if d := Diagnose([]Budget{clean}, nil, Signals{}); d.Has(CodeRexmitBound) {
+		t.Fatal("fired on a clean run")
+	}
+}
+
+func TestDiagnoseOrdersBySeverity(t *testing.T) {
+	var b Budget
+	b.Total = 10 * ms
+	b.Stages[StageRexmit] = 9 * ms
+	events := append(
+		gatewayEvents(20, 700*us, 40*us, 740*us),
+		Event{At: vtime.Time(ms), Dur: ms, Kind: KindRexmit, Msg: 1, Node: "a"},
+	)
+	d := Diagnose([]Budget{b}, events, Signals{PipelineDepth: 1})
+	if len(d.Findings) < 2 {
+		t.Fatalf("expected multiple findings: %+v", d.Findings)
+	}
+	for i := 1; i < len(d.Findings); i++ {
+		if d.Findings[i-1].Severity < d.Findings[i].Severity {
+			t.Fatalf("findings not severity-sorted: %+v", d.Findings)
+		}
+	}
+}

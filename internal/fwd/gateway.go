@@ -3,6 +3,7 @@ package fwd
 import (
 	"fmt"
 
+	"madgo/internal/flight"
 	"madgo/internal/hw"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
@@ -243,7 +244,7 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	out.Send(p, mad.TxMeta{SOM: true, Kind: meta.Kind,
 		Blocks: []mad.BlockDesc{{Size: hdrLen, S: mad.SendCheaper, R: mad.ReceiveExpress}}}, hdr)
 
-	g.pipeline(p, r, in, out, mtu, meta.Kind)
+	g.pipeline(p, r, in, out, mtu, msgID, meta.Kind)
 	g.messages++
 }
 
@@ -278,11 +279,12 @@ type relayPacket struct {
 // and every buffer is in flight — the wait is recorded as a "stall" span,
 // which obs.AnalyzeLanes accounts to the lane's stall fraction; the deeper
 // the ring, the fewer such bubbles.
-func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu int, kind mad.Kind) {
+func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu int, msgID uint64, kind mad.Kind) {
 	vc := g.vc
 	cfg := vc.cfg
 	tr := cfg.Tracer
 	m := vc.metrics()
+	fr := vc.flightRing(g.name)
 	gwLabels := obs.Labels{"gateway": g.name}
 	host := g.node.Host
 	inNet := in.Channel.Network().Name
@@ -320,6 +322,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 			t0 := sp.Now()
 			out.Send(sp, mad.TxMeta{Kind: kind, Blocks: pkt.desc}, pkt.data)
 			tr.Record(sendActor, "send", len(pkt.data), t0, sp.Now())
+			fr.Record(flight.KindSend, sp.Now(), vtime.Since(sp.Now(), t0), msgID, len(pkt.data), outNet)
 			if pkt.aux != nil {
 				r.stage.put(pkt.aux)
 			}
@@ -327,6 +330,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 			sp.Sleep(host.CPU.SwapOverhead)
 			tr.Record(sendActor, "swap", 0, t0, sp.Now())
 			m.ObserveDuration("madgo_gateway_swap_seconds", gwLabels, vtime.Since(sp.Now(), t0))
+			fr.Record(flight.KindSwap, sp.Now(), vtime.Since(sp.Now(), t0), msgID, 0, outNet)
 			r.free.Send(sp, pkt.buf)
 		}
 	})
@@ -342,6 +346,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 			g.stalls++
 			tr.Record(recvActor, "stall", 0, t0, p.Now())
 			m.ObserveDuration("madgo_gateway_stall_seconds", gwLabels, wait)
+			fr.Record(flight.KindStall, p.Now(), wait, msgID, 0, inNet)
 		}
 		// Incoming-flow regulation (the paper's proposed future work):
 		// space receive starts to at most InflowLimit bytes/s.
@@ -386,6 +391,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 		}
 		if !pkt.eom {
 			tr.Record(recvActor, "recv", len(pkt.data), t0, p.Now())
+			fr.Record(flight.KindRecv, p.Now(), vtime.Since(p.Now(), t0), msgID, len(pkt.data), inNet)
 			g.packets++
 			g.bytes += int64(len(pkt.data))
 			m.Add("madgo_gateway_relayed_packets_total", gwLabels, 1)
@@ -394,6 +400,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 			p.Sleep(host.CPU.SwapOverhead)
 			tr.Record(recvActor, "swap", 0, t0, p.Now())
 			m.ObserveDuration("madgo_gateway_swap_seconds", gwLabels, vtime.Since(p.Now(), t0))
+			fr.Record(flight.KindSwap, p.Now(), vtime.Since(p.Now(), t0), msgID, 0, inNet)
 		}
 		r.full.Send(p, pkt)
 		if pkt.eom {

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"madgo/internal/flight"
 	"madgo/internal/mad"
 	"madgo/internal/vtime"
 )
@@ -92,9 +93,13 @@ func newGTMPacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, link *mad.
 func (g *gtmPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMode) {
 	if s == mad.SendSafer {
 		// The GTM always sends by reference; honouring SendSafer needs
-		// a snapshot.
+		// a snapshot. That copy is the only pack-stage cost of the
+		// streaming path (reference sends are free), so it alone is
+		// charged to the flight recorder's pack stage.
+		t0 := p.Now()
 		g.node.Host.Memcpy(p, len(data))
 		data = append([]byte(nil), data...)
+		g.vc.flightRing(g.node.Name).Record(flight.KindPack, p.Now(), vtime.Since(p.Now(), t0), g.id, len(data), "")
 	}
 	net := g.link.Channel.Network().Name
 	mad.ForEachFragment(len(data), g.mtu, func(off, n int) {

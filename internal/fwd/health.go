@@ -20,6 +20,7 @@ package fwd
 // probe across a faulted link is lost and times out, which is the signal.
 
 import (
+	"madgo/internal/flight"
 	"madgo/internal/health"
 	"madgo/internal/mad"
 	"madgo/internal/route"
@@ -114,6 +115,11 @@ func (hp *healthProber) probe(p *vtime.Proc, edge route.Edge) {
 	ok := e.await(p, aw, mon.ProbeTimeout(), "health probe "+edge.To)
 	delete(hp.await, seq)
 	mon.ProbeResult(edge, ok, p.Now().Sub(t0), p.Now())
+	bytes := 0
+	if ok {
+		bytes = 1 // success flag for the flight recorder, not a byte count
+	}
+	e.flight().Record(flight.KindProbe, p.Now(), p.Now().Sub(t0), 0, bytes, edge.Network)
 }
 
 // handleHealth dispatches one KindHealth arrival in the polling daemon: a

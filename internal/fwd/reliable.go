@@ -43,6 +43,7 @@ import (
 	"sort"
 	"strings"
 
+	"madgo/internal/flight"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
 	"madgo/internal/route"
@@ -437,6 +438,7 @@ type relMsg struct {
 type relayItem struct {
 	d    relData
 	from string
+	enq  vtime.Time // enqueue instant, for queue-wait attribution (0 = unknown)
 }
 
 // relEngine is the per-node reliability engine: sequence numbers, awaited
@@ -484,6 +486,8 @@ type relEngine struct {
 	relayDrops    int64
 	ackPackets    int64 // standalone ack datagrams emitted
 	acksCoalesced int64 // ack entries that avoided their own datagram
+
+	fr *flight.Ring // cached flight ring; nil until a recorder is armed
 }
 
 func (e *relEngine) sim() *vtime.Sim { return e.vc.sess.Platform.Sim }
@@ -493,6 +497,15 @@ func (e *relEngine) trace(op string, bytes int, at vtime.Time) {
 }
 
 func (e *relEngine) metrics() *obs.Registry { return e.vc.sess.Platform.Metrics }
+
+// flight returns this node's flight-recorder ring, resolved lazily so a
+// recorder armed after Build is still picked up, then cached.
+func (e *relEngine) flight() *flight.Ring {
+	if e.fr == nil {
+		e.fr = e.vc.flightRing(e.node.Name)
+	}
+	return e.fr
+}
 
 // hop appends one provenance event for message id at this node.
 func (e *relEngine) hop(id uint64, at vtime.Time, op, detail string, bytes int) {
@@ -637,17 +650,23 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 			if attempt < pol.MessageRetries {
 				bo = e.nextTimeout(bo)
 				p.Sleep(bo)
+				e.flight().Record(flight.KindBackoff, p.Now(), bo, id, 0, "")
 			}
 			continue
 		}
 		to := pol.E2EBase + vtime.Duration(total)*pol.E2EPerFrag
+		t0 := p.Now()
 		ok := e.await(p, aw, to, "rel e2e "+dst)
 		if e.e2e[mkey] == aw {
 			delete(e.e2e, mkey)
 		}
 		if ok {
+			e.flight().Record(flight.KindAckWait, p.Now(), vtime.Since(p.Now(), t0), id, 0, "")
 			return
 		}
+		// A timed-out end-to-end wait feeds the message-resend machinery,
+		// so it is charged to the retransmit stage, not ack-wait.
+		e.flight().Record(flight.KindRexmit, p.Now(), vtime.Since(p.Now(), t0), id, 0, "")
 		reason = "timeout"
 	}
 	var cause error
@@ -655,6 +674,9 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 		cause = &route.NoRouteError{Src: e.node.Name, Dst: dst,
 			Why: "every route exhausted or excluded by liveness constraints"}
 	}
+	// The run is about to abort: snapshot every flight ring so the state
+	// at the moment of failure survives into the post-mortem.
+	e.vc.flight().Dump(fmt.Sprintf("delivery-error: %s %s -> %s (msg %d)", reason, e.node.Name, dst, id))
 	panic(vtime.Abort{Err: &DeliveryError{
 		From:     e.node.Name,
 		To:       dst,
@@ -802,6 +824,9 @@ func (e *relEngine) deliverBurst(p *vtime.Proc, hop route.Hop, ds []relData) (fa
 		} else {
 			to := e.pol.AckTimeout
 			ok = e.await(p, aw, to, "rel ack "+hop.To)
+			if !ok {
+				e.flight().Record(flight.KindRexmit, p.Now(), to, ds[i].id, len(ds[i].payload), hop.Network)
+			}
 			for try := 1; !ok && try <= e.pol.PacketRetries; try++ {
 				if mon != nil {
 					mon.ReportFailure(edge, p.Now())
@@ -824,6 +849,9 @@ func (e *relEngine) deliverBurst(p *vtime.Proc, hop route.Hop, ds []relData) (fa
 				e.sendData(p, link, ds[i], true)
 				to = e.nextTimeout(to)
 				ok = e.await(p, aw, to, "rel ack "+hop.To)
+				if !ok {
+					e.flight().Record(flight.KindRexmit, p.Now(), to, ds[i].id, len(ds[i].payload), hop.Network)
+				}
 			}
 			if !ok {
 				hopDead = true
@@ -870,7 +898,9 @@ func (e *relEngine) sendData(p *vtime.Proc, link *mad.Link, d relData, flush boo
 	acks := e.takePiggyback(link)
 	pkt := encodeRelData(d.origin, d.final, d.id, d.frag, d.total, flags, d.payload, acks)
 	link.Acquire(p)
+	t0 := p.Now()
 	link.Send(p, relMeta(kind, len(pkt)), pkt)
+	e.flight().Record(flight.KindSend, p.Now(), vtime.Since(p.Now(), t0), d.id, len(d.payload), link.Channel.Network().Name)
 	link.Release(p)
 }
 
@@ -1115,7 +1145,7 @@ func (e *relEngine) handleData(p *vtime.Proc, in *mad.Link, pkt []byte) {
 				fmt.Sprintf("no route to %s except back via %s", finalName, ingress), 0)
 			return
 		}
-		if !e.relayQ.TrySend(relayItem{d: d, from: ingress}) {
+		if !e.relayQ.TrySend(relayItem{d: d, from: ingress, enq: p.Now()}) {
 			e.relayDrops++
 			e.count("madgo_relay_drops_total")
 			return // backpressure: no ack until the queue drains
@@ -1204,7 +1234,8 @@ func (e *relEngine) hopAck(in *mad.Link, d relData) {
 // for reliable delivery back to its origin.
 func (e *relEngine) sendE2E(origin mad.Rank, id uint64) {
 	it := relayItem{
-		d: relData{origin: origin, final: origin, id: id, frag: e2eFrag},
+		d:   relData{origin: origin, final: origin, id: id, frag: e2eFrag},
+		enq: e.sim().Now(),
 	}
 	if !e.relayQ.TrySend(it) {
 		e.relayDrops++
@@ -1236,6 +1267,13 @@ func (e *relEngine) relayLoop(p *vtime.Proc) {
 		if !ok {
 			return
 		}
+		qwait := func(item relayItem) {
+			if item.enq > 0 {
+				e.flight().Record(flight.KindQueueWait, p.Now(), p.Now().Sub(item.enq),
+					item.d.id, len(item.d.payload), "")
+			}
+		}
+		qwait(it)
 		batch := []relData{it.d}
 		var requeue []relayItem
 		for len(batch) < e.pol.Window {
@@ -1244,6 +1282,7 @@ func (e *relEngine) relayLoop(p *vtime.Proc) {
 				break
 			}
 			if more.d.final == it.d.final && more.from == it.from {
+				qwait(more)
 				batch = append(batch, more.d)
 			} else {
 				requeue = append(requeue, more)
@@ -1371,11 +1410,13 @@ func newRelPacking(eng *relEngine, dst string) *relPacking {
 
 func (rp *relPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMode) {
 	host := rp.eng.node.Host
+	t0 := p.Now()
 	p.Sleep(host.CPU.PackCost)
 	if s == mad.SendSafer {
 		host.Memcpy(p, len(data))
 		data = append([]byte(nil), data...)
 	}
+	rp.eng.flight().Record(flight.KindPack, p.Now(), vtime.Since(p.Now(), t0), rp.id, len(data), "")
 	rp.blocks = append(rp.blocks, relBlock{data: data, s: s, r: r})
 }
 

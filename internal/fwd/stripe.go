@@ -38,6 +38,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"madgo/internal/flight"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
 	"madgo/internal/route"
@@ -347,7 +348,7 @@ func (vc *VirtualChannel) noteRailGoodput(src, dst string, rail int, bytes int64
 		measured = stripeEWMAAlpha*measured + (1-stripeEWMAAlpha)*old
 	}
 	vc.stripe.railRate[key] = measured
-	vc.metrics().Set("madgo_stripe_rail_rate_bytes", obs.Labels{
+	vc.metrics().Set("madgo_stripe_rail_rate_bytes_per_second", obs.Labels{
 		"src": src, "dst": dst, "rail": fmt.Sprintf("%d", rail),
 	}, vc.stripe.railRate[key])
 }
@@ -865,6 +866,7 @@ func (su *stripeUnpacking) unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r m
 		panic("fwd: striped block covered by no rail")
 	}
 	sim := su.vc.sess.Platform.Sim
+	t0 := p.Now()
 	var procs []*vtime.Proc
 	for _, rl := range overlapping[1:] {
 		rl := rl
@@ -875,6 +877,14 @@ func (su *stripeUnpacking) unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r m
 	su.drainRail(p, overlapping[0], dst, B0, B1, s, r)
 	for _, pr := range procs {
 		p.Join(pr)
+	}
+	if len(overlapping) > 1 {
+		// Reassembly cost of a striped block: the span from first drain start
+		// to last rail completion, the window in which the destination is
+		// stitching concurrent rails back into one buffer.
+		su.vc.flightRing(su.node.Name).Record(
+			flight.KindReassembly, p.Now(), vtime.Since(p.Now(), t0),
+			su.g.key.id, len(dst), "")
 	}
 }
 

@@ -3,6 +3,8 @@ package fwd
 import (
 	"fmt"
 
+	"madgo/internal/flight"
+	"madgo/internal/fluid"
 	"madgo/internal/health"
 	"madgo/internal/hw"
 	"madgo/internal/mad"
@@ -167,6 +169,10 @@ type VirtualChannel struct {
 
 	// pathMTUs caches the negotiated per-pair packet size (PathMTU mode).
 	pathMTUs map[[2]string]int
+
+	// nics retains the NIC model of every bound network so the diagnosis
+	// pass can compare observed wire rates against nominal ones.
+	nics map[string]hw.NICParams
 }
 
 // netMTU returns the packet-size cap of one network under the PathMTU
@@ -217,6 +223,42 @@ func (vc *VirtualChannel) nextMsgID() uint64 {
 // metrics returns the platform's registry (nil records nothing).
 func (vc *VirtualChannel) metrics() *obs.Registry { return vc.sess.Platform.Metrics }
 
+// flight returns the platform's flight recorder (nil records nothing).
+func (vc *VirtualChannel) flight() *flight.Recorder { return vc.sess.Platform.Flight }
+
+// flightRing returns one node's flight-recorder ring (nil records
+// nothing). Callers on hot paths cache the result once it is non-nil.
+func (vc *VirtualChannel) flightRing(node string) *flight.Ring {
+	return vc.sess.Platform.FlightRing(node)
+}
+
+// DiagnosisSignals builds the configuration context flight.Diagnose needs:
+// pipeline depth and MTU, plus every bound network's nominal payload send
+// rate and bus class, from the NIC models the channel was built with.
+func (vc *VirtualChannel) DiagnosisSignals() flight.Signals {
+	sig := flight.Signals{
+		PipelineDepth: vc.cfg.PipelineDepth,
+		MTU:           vc.cfg.MTU,
+		NetRate:       make(map[string]float64),
+		PIONet:        make(map[string]bool),
+		DMANet:        make(map[string]bool),
+	}
+	for name, nic := range vc.nics {
+		rate := nic.EffectiveSendRate(vc.netMTU(name))
+		if nic.WireRate > 0 && nic.WireRate < rate {
+			rate = nic.WireRate
+		}
+		sig.NetRate[name] = rate
+		switch nic.SendBusClass {
+		case fluid.ClassPIO:
+			sig.PIONet[name] = true
+		case fluid.ClassDMA:
+			sig.DMANet[name] = true
+		}
+	}
+	return sig
+}
+
 // Build creates the nodes, real channels, routing table and gateway engines
 // of a virtual channel over the given topology. The session must be empty:
 // the virtual channel owns the node set. Bindings must cover every network
@@ -263,6 +305,10 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 		gates:   make(map[string]*Gateway),
 
 		pathMTUs: make(map[[2]string]int),
+		nics:     make(map[string]hw.NICParams),
+	}
+	for name, b := range bindings {
+		vc.nics[name] = b.Drv.NIC()
 	}
 	for _, n := range buildTopo.Nodes() {
 		vc.nodes[n.Name] = sess.AddNode(n.Name)
@@ -298,6 +344,15 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 			sim := sess.Platform.Sim
 			vc.mon = health.NewMonitor(*cfg.Health, tp, cfg.FallbackTopo,
 				sess.Platform.Metrics, sim.After, sim.Now)
+			// Health-epoch churn is a flight-recorder dump trigger: route
+			// changes are exactly the moments whose surrounding event
+			// history a post-mortem wants. The recorder is read through
+			// the platform at call time, so one armed after Build still
+			// sees epoch changes.
+			vc.mon.SetEpochHook(func(epoch uint64, at vtime.Time) {
+				vc.flightRing("health").Record(flight.KindEpoch, at, 0, 0, int(epoch), "")
+				vc.flight().Dump(fmt.Sprintf("health-epoch-%d", epoch))
+			})
 		}
 		vc.relOrder = buildTopo.NodeNames()
 		vc.buildReliable(buildTopo)

@@ -183,6 +183,7 @@ type Monitor struct {
 	schedule func(vtime.Duration, func()) // vtime.Sim.After
 	sink     func(route.Edge)             // forwarding layer's probe queue
 	now      func() vtime.Time
+	onEpoch  func(uint64, vtime.Time) // epoch-publication hook (may be nil)
 
 	links  map[route.Edge]*link
 	order  []route.Edge            // deterministic iteration order
@@ -251,6 +252,11 @@ func NewMonitor(cfg Config, primary, fallback *topo.Topology, met *obs.Registry,
 // forwarding layer. Until it is set the monitor records state but schedules
 // no probes.
 func (m *Monitor) SetProbeSink(fn func(route.Edge)) { m.sink = fn }
+
+// SetEpochHook installs a callback invoked after every routing-epoch
+// publication (link death or re-admission). The forwarding layer uses it
+// to trigger flight-recorder dumps on health churn.
+func (m *Monitor) SetEpochHook(fn func(epoch uint64, at vtime.Time)) { m.onEpoch = fn }
 
 // Epoch returns the current routing epoch.
 func (m *Monitor) Epoch() uint64 { return m.mgr.Epoch() }
@@ -578,4 +584,7 @@ func (m *Monitor) publish(now vtime.Time) {
 	}
 	m.met.Set("madgo_route_epoch", nil, float64(ep))
 	m.met.Set("madgo_health_dead_links", nil, float64(len(dead)))
+	if m.onEpoch != nil {
+		m.onEpoch(ep, now)
+	}
 }

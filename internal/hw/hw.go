@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"madgo/internal/fault"
+	"madgo/internal/flight"
 	"madgo/internal/fluid"
 	"madgo/internal/obs"
 	"madgo/internal/vtime"
@@ -95,7 +96,12 @@ type Platform struct {
 	// Metrics is the platform-wide metrics registry; nil (recording
 	// nothing) unless SetMetrics armed one. Every layer with a path to the
 	// platform records through it.
-	Metrics  *obs.Registry
+	Metrics *obs.Registry
+	// Flight is the always-on flight recorder; nil (recording nothing)
+	// unless SetFlight armed one. Instrumentation looks its per-node ring
+	// up lazily, so the recorder may be armed before or after the
+	// forwarding layer is built.
+	Flight   *flight.Recorder
 	hosts    map[string]*Host
 	networks []*Network
 }
@@ -115,6 +121,20 @@ func (pl *Platform) SetMetrics(m *obs.Registry) {
 	if pl.Faults != nil {
 		pl.Faults.SetMetrics(m)
 	}
+}
+
+// SetFlight arms a flight recorder on the platform and gives it the
+// simulation clock for stamping dumps.
+func (pl *Platform) SetFlight(rec *flight.Recorder) {
+	pl.Flight = rec
+	rec.SetClock(pl.Sim.Now)
+}
+
+// FlightRing returns the flight-recorder ring of the named node, or nil
+// when no recorder is armed. Nil rings record nothing, so callers cache
+// the result only once it is non-nil.
+func (pl *Platform) FlightRing(node string) *flight.Ring {
+	return pl.Flight.Ring(node)
 }
 
 // ArmFaults installs a fault injector on the platform and schedules its

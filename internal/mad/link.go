@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"madgo/internal/fault"
+	"madgo/internal/flight"
 	"madgo/internal/fluid"
 	"madgo/internal/hw"
 	"madgo/internal/obs"
@@ -127,6 +128,7 @@ type Link struct {
 	msgMu   vsync.Mutex    // serializes whole messages on the sending side
 	recvMu  vsync.Mutex    // serializes whole messages on the receiving side
 	seq     uint64
+	flRing  *flight.Ring // cached flight ring; nil until a recorder is armed
 }
 
 func newLink(ch *Channel, src, dst *Node) *Link {
@@ -173,6 +175,16 @@ func (l *Link) faults() *fault.Injector { return l.Src.Session.Platform.Faults }
 // metrics returns the platform's metrics registry (nil records nothing).
 func (l *Link) metrics() *obs.Registry { return l.Src.Session.Platform.Metrics }
 
+// flight returns the source node's flight-recorder ring, looked up lazily
+// so a recorder armed after the link was built is still picked up; once
+// resolved the ring is cached (nil rings record nothing either way).
+func (l *Link) flight() *flight.Ring {
+	if l.flRing == nil {
+		l.flRing = l.Src.Session.Platform.FlightRing(l.Src.Name)
+	}
+	return l.flRing
+}
+
 // flow charges the transfer over sender bus → wire → receiver bus. It
 // reports false when a fault window cancelled the flow mid-transfer.
 func (l *Link) flow(p *vtime.Proc, wireBytes, payloadLen int) bool {
@@ -206,6 +218,7 @@ func (l *Link) Send(p *vtime.Proc, meta TxMeta, data []byte) {
 	t0 := p.Now()
 	l.send(p, meta, data)
 	m.ObserveDuration("madgo_link_send_seconds", labels, vtime.Since(p.Now(), t0))
+	l.flight().Record(flight.KindWire, p.Now(), vtime.Since(p.Now(), t0), 0, len(data), l.Channel.net.Name)
 }
 
 // send is the uninstrumented transmission path behind Send.

@@ -62,7 +62,10 @@ func WriteChromeTrace(w io.Writer, spans []trace.Span, hops []Hop) error {
 		tid(n)
 	}
 
-	var events []map[string]any
+	// Initialized non-nil so an empty trace still encodes as
+	// {"traceEvents": []}, which Perfetto accepts ("traceEvents": null is
+	// rejected).
+	events := []map[string]any{}
 	for _, n := range sortedKeys(procNames) {
 		events = append(events, map[string]any{
 			"name": "process_name", "ph": "M", "pid": pid(n),

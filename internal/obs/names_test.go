@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestCanonicalNameConventions pins the naming rules the inventory
+// documents: the madgo_ prefix, _total counters, _seconds histograms, and
+// unit suffixes on rate gauges.
+func TestCanonicalNameConventions(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, n := range CanonicalMetricNames {
+		if seen[n] {
+			t.Errorf("duplicate canonical name %q", n)
+		}
+		seen[n] = true
+		if !strings.HasPrefix(n, "madgo_") {
+			t.Errorf("%q does not start with madgo_", n)
+		}
+		if strings.Contains(n, "rate") && !strings.HasSuffix(n, "_per_second") {
+			t.Errorf("rate gauge %q lacks the _per_second unit suffix", n)
+		}
+		if strings.HasSuffix(n, "_total") && strings.Contains(n, "_seconds") {
+			t.Errorf("%q mixes the counter and histogram suffixes", n)
+		}
+	}
+}
+
+// metricLiteral matches a quoted madgo_* metric name in Go source.
+var metricLiteral = regexp.MustCompile(`"(madgo_[a-z0-9_]+)"`)
+
+// TestCanonicalNamesMatchSources is the drift audit: every madgo_* literal
+// in the repository's non-test sources must be in CanonicalMetricNames, and
+// every canonical name must still be mentioned somewhere — so both adding
+// an undocumented metric and renaming one without updating the inventory
+// fail here.
+func TestCanonicalNamesMatchSources(t *testing.T) {
+	root := "../.." // the obs package sits at <module>/internal/obs
+	canonical := make(map[string]bool, len(CanonicalMetricNames))
+	for _, n := range CanonicalMetricNames {
+		canonical[n] = false // value flips to true when a source mentions it
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "examples" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricLiteral.FindAllStringSubmatch(string(src), -1) {
+			name := m[1]
+			if _, ok := canonical[name]; !ok {
+				t.Errorf("%s mentions %q, which is not in obs.CanonicalMetricNames", path, name)
+				continue
+			}
+			canonical[name] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, used := range canonical {
+		if !used {
+			t.Errorf("canonical name %q is mentioned by no source file — stale inventory entry?", name)
+		}
+	}
+}

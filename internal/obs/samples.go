@@ -1,0 +1,52 @@
+package obs
+
+import "sort"
+
+// Sample is one series of a structured registry snapshot: the JSON-friendly
+// counterpart of one WritePrometheus line, used by madstat -json to emit
+// metrics, health and diagnosis as a single machine-readable document.
+type Sample struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"` // "counter", "gauge" or "histogram"
+	Labels Labels  `json:"labels,omitempty"`
+	Value  float64 `json:"value"` // counter/gauge value; histogram sum
+
+	// Histogram-only fields.
+	Count int64   `json:"count,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Samples returns every registered series as a sorted, self-describing
+// slice: counters first, then gauges, then histograms, each group ordered
+// by canonical series identity. Nil-safe.
+func (r *Registry) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	kindRank := map[string]int{"counter": 0, "gauge": 1, "histogram": 2}
+	for _, s := range r.counters {
+		out = append(out, Sample{Name: s.name, Kind: "counter", Labels: copyLabels(s.labels), Value: s.val})
+	}
+	for _, s := range r.gauges {
+		out = append(out, Sample{Name: s.name, Kind: "gauge", Labels: copyLabels(s.labels), Value: s.val})
+	}
+	for _, h := range r.hists {
+		sm := Sample{Name: h.name, Kind: "histogram", Labels: copyLabels(h.labels), Value: h.sum, Count: h.count}
+		if h.count > 0 {
+			sm.P50, sm.P90, sm.P99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+		}
+		out = append(out, sm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return kindRank[out[i].Kind] < kindRank[out[j].Kind]
+		}
+		return key(out[i].Name, out[i].Labels) < key(out[j].Name, out[j].Labels)
+	})
+	return out
+}

@@ -44,6 +44,7 @@ package madeleine
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"madgo/internal/bench"
 	"madgo/internal/coll"
@@ -53,6 +54,7 @@ import (
 	"madgo/internal/drivers/sisci"
 	"madgo/internal/drivers/tcpnet"
 	"madgo/internal/fault"
+	"madgo/internal/flight"
 	"madgo/internal/fwd"
 	"madgo/internal/health"
 	"madgo/internal/hw"
@@ -116,6 +118,9 @@ type (
 	Metrics = obs.Registry
 	// MetricLabels tags one metric series (e.g. {"node": "gw"}).
 	MetricLabels = obs.Labels
+	// MetricSample is one series of Metrics.Samples(), the JSON-friendly
+	// snapshot madstat -json emits.
+	MetricSample = obs.Sample
 	// MessageHop is one provenance event of a traced message.
 	MessageHop = obs.Hop
 	// Lane is the busy/stall/idle decomposition of one pipeline actor.
@@ -140,11 +145,62 @@ type (
 	// or excluded by liveness constraints; unwrap DeliveryError with
 	// errors.As to get it, or test errors.Is(err, ErrNoRoute).
 	NoRouteError = route.NoRouteError
+	// FlightRecorder is the always-on in-memory event recorder: bounded
+	// per-node rings of structured send/recv/swap/stall/retransmit/probe/
+	// epoch events, snapshot-dumped automatically on delivery errors and
+	// health-epoch churn. Reachable through System.Flight.
+	FlightRecorder = flight.Recorder
+	// FlightEvent is one recorded flight event.
+	FlightEvent = flight.Event
+	// FlightDump is one automatic snapshot of every ring, taken when
+	// something went wrong (delivery error, no-route, epoch churn).
+	FlightDump = flight.Dump
+	// Budget attributes one message's end-to-end latency to named stages
+	// (pack, queue-wait, wire, buffer-swap, relay-stall, retransmit+backoff,
+	// stripe-reassembly, ack-wait).
+	Budget = flight.Budget
+	// AggregateBudget sums Budgets over a set of messages.
+	AggregateBudget = flight.AggregateBudget
+	// Stage names one latency-budget stage.
+	Stage = flight.Stage
+	// Diagnosis is the output of System.Diagnose: the pathologies the
+	// critical-path analyzer recognizes in a run's flight events.
+	Diagnosis = flight.Diagnosis
+	// Finding is one named pathology with its evidence.
+	Finding = flight.Finding
 )
 
 // ErrNoRoute is the sentinel matched by errors.Is when delivery failed
 // because no live route remains (as opposed to a retry-budget timeout).
 var ErrNoRoute = route.ErrNoRoute
+
+// Latency-budget stages, the critical-path analyzer's attribution taxonomy.
+const (
+	StagePack       = flight.StagePack
+	StageQueueWait  = flight.StageQueueWait
+	StageWire       = flight.StageWire
+	StageSwap       = flight.StageSwap
+	StageStall      = flight.StageStall
+	StageRexmit     = flight.StageRexmit
+	StageReassembly = flight.StageReassembly
+	StageAckWait    = flight.StageAckWait
+)
+
+// Diagnosis finding codes, the pathologies Diagnose recognizes.
+const (
+	// DiagSwapBound: gateway relay throughput is serialized on buffer
+	// swaps — the §3.4.1 pathology cured by deepening the pipeline.
+	DiagSwapBound = flight.CodeSwapBound
+	// DiagStallBound: gateway receive threads spend a significant share of
+	// their occupancy waiting for free staging buffers.
+	DiagStallBound = flight.CodeStallBound
+	// DiagPIODMA: a programmed-I/O network is observed far below nominal
+	// rate while a DMA network shares the host bus (the §3.4.2 conflict).
+	DiagPIODMA = flight.CodePIODMA
+	// DiagRexmitBound: retransmissions and backoff dominate the latency
+	// budget — lossy or flapping links.
+	DiagRexmitBound = flight.CodeRexmitBound
+)
 
 // Link states reported by HealthMonitor.Snapshot. Up and Suspect links are
 // routable; Dead and Probation links are excluded from every route table
@@ -248,6 +304,13 @@ type Options struct {
 	// Health, when non-nil, arms the link-health failure detector with
 	// epochal self-healing routes (implies reliable delivery).
 	Health *HealthConfig
+	// DisableFlight turns the always-on flight recorder off. The recorder
+	// costs well under 5% of goodput (a bounded ring write per event, no
+	// allocation), so leaving it on is the default even for benchmarks.
+	DisableFlight bool
+	// FlightRingCap overrides the per-node ring capacity (default 4096
+	// events).
+	FlightRingCap int
 }
 
 // Option mutates Options.
@@ -356,6 +419,14 @@ func WithHealthConfig(hc HealthConfig) Option {
 	return func(o *Options) { o.Health = &hc }
 }
 
+// WithoutFlightRecorder disables the always-on flight recorder. Only the
+// recorder-overhead experiment has a reason to use this.
+func WithoutFlightRecorder() Option { return func(o *Options) { o.DisableFlight = true } }
+
+// WithFlightRingCap sets the flight recorder's per-node ring capacity in
+// events (default 4096). Older events are overwritten, never reallocated.
+func WithFlightRingCap(n int) Option { return func(o *Options) { o.FlightRingCap = n } }
+
 // WithReliableDelivery switches the virtual channel from the paper's
 // streaming forwarding to reliable datagram delivery: every packet is
 // checksummed and acknowledged hop by hop, lost or corrupted packets are
@@ -409,6 +480,12 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 		// Before fwd.Build so reliable mode's counter pre-registration
 		// lands in the registry.
 		pl.SetMetrics(o.Metrics)
+	}
+	if !o.DisableFlight {
+		// The flight recorder is always on: its cost is a bounded ring
+		// write per event (no allocation), enforced under 5% of goodput by
+		// the O2 gate.
+		pl.SetFlight(flight.NewRecorder(o.FlightRingCap))
 	}
 	sess := mad.NewSession(pl)
 	// Reliable mode keeps the excluded control networks alive as failover
@@ -593,11 +670,70 @@ func (s *System) WritePrometheus(w io.Writer) { s.Metrics().WritePrometheus(w) }
 
 // WriteChromeTrace writes the run as Chrome trace_event JSON — loadable in
 // Perfetto (ui.perfetto.dev) or chrome://tracing. Pipeline spans come from
-// the WithTracer tracer, per-message provenance from the WithMetrics
-// registry; either may be absent.
+// the WithTracer tracer, flight-recorder events replay as per-node spans,
+// and per-message provenance comes from the WithMetrics registry; any of
+// the three may be absent.
 func (s *System) WriteChromeTrace(w io.Writer) error {
-	return obs.WriteChromeTrace(w, s.tracer.Spans(), s.Metrics().Hops())
+	var spans []trace.Span
+	spans = append(spans, s.tracer.Spans()...)
+	spans = append(spans, s.Flight().Spans()...)
+	return obs.WriteChromeTrace(w, spans, s.Metrics().Hops())
 }
+
+// Flight returns the always-on flight recorder, or nil when the system was
+// built with WithoutFlightRecorder. A nil *FlightRecorder is safe to query:
+// every method returns zero values.
+func (s *System) Flight() *FlightRecorder { return s.Session.Platform.Flight }
+
+// WriteFlightJSON writes the flight recorder's full state — every per-node
+// ring plus the automatic failure dumps — as indented JSON.
+func (s *System) WriteFlightJSON(w io.Writer) error { return s.Flight().WriteJSON(w) }
+
+// Budgets attributes every observed message's end-to-end latency to named
+// stages (pack, queue-wait, wire, buffer-swap, relay-stall,
+// retransmit+backoff, stripe-reassembly, ack-wait), in message-id order.
+// Provenance hops from the WithMetrics registry widen each message's
+// [start, end] window when present; the flight events alone suffice.
+func (s *System) Budgets() []Budget {
+	rec := s.Flight()
+	if rec == nil {
+		return nil
+	}
+	byMsg := flight.IndexByMessage(rec.Events())
+	ids := make(map[uint64]bool, len(byMsg))
+	for _, id := range s.Metrics().Messages() {
+		ids[id] = true
+	}
+	for id := range byMsg {
+		ids[id] = true
+	}
+	ordered := make([]uint64, 0, len(ids))
+	for id := range ids {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	bs := make([]Budget, 0, len(ordered))
+	for _, id := range ordered {
+		bs = append(bs, flight.AnalyzeMessage(id, s.Metrics().MessageTrace(id), byMsg[id]))
+	}
+	return bs
+}
+
+// Diagnose runs the critical-path analyzer over the run's flight events and
+// latency budgets and names the pathologies it recognizes: the §3.4.1
+// swap-overhead bound, staging-buffer stalls, the PIO/DMA bus conflict, and
+// retransmission-dominated budgets. An empty Findings list means healthy.
+func (s *System) Diagnose() Diagnosis {
+	rec := s.Flight()
+	if rec == nil {
+		return Diagnosis{}
+	}
+	return flight.Diagnose(s.Budgets(), rec.Events(), s.Channel.DiagnosisSignals())
+}
+
+// WriteBudgetReport renders Budgets as an aligned text table: one row per
+// message plus an aggregate "all" row.
+func WriteBudgetReport(w io.Writer, bs []Budget) { flight.WriteBudgets(w, bs) }
 
 // Lanes decomposes each traced pipeline actor's [t0, t1) window into busy,
 // stall (buffer switches) and idle time, with the §3.3.1 steady-state period
