@@ -6,9 +6,9 @@ FUZZTIME ?= 30s
 FUZZ_TARGETS = \
 	internal/fwd:FuzzGTMHeader internal/fwd:FuzzStripeHeader \
 	internal/fwd:FuzzRelData internal/fwd:FuzzRelAck internal/fwd:FuzzRelDesc \
-	internal/health:FuzzHealthProbe
+	internal/health:FuzzHealthProbe internal/flow:FuzzFlowCredit
 
-.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate o2-gate soak
+.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate o2-gate c1-gate soak
 
 check: build vet race cover
 
@@ -31,6 +31,7 @@ bench:
 	$(GO) run ./cmd/madbench -json s1 > BENCH_s1.json
 	$(GO) run ./cmd/madbench -json r2 > BENCH_r2.json
 	$(GO) run ./cmd/madbench -json o2 > BENCH_o2.json
+	$(GO) run ./cmd/madbench -json c1 > BENCH_c1.json
 
 # stripe-gate archives the striping sweep and fails unless K=2 goodput on
 # the dual-rail topology is >= 1.5x the K=1 baseline at 64-128 KB. The
@@ -60,11 +61,24 @@ o2-gate:
 	$(GO) test ./internal/bench -run '^TestO2FlightGate$$' -v
 	$(GO) test ./internal/flight -run 'ZeroAllocs' -v
 
+# c1-gate archives the 64-sender incast fairness run and fails unless the
+# FIFO baseline is measurably unfair (Jain <= 0.80), the credit + DRR
+# scheduler equalizes per-sender goodput (Jain >= 0.90), and aggregate
+# goodput stays within 5% of the serialized single-sender ceiling.
+# Deterministic, so the gate test reruns the exact incast the JSON archive
+# came from.
+c1-gate:
+	$(GO) run ./cmd/madbench -json c1 > BENCH_c1.json
+	$(GO) test ./internal/bench -run '^TestC1FlowGate$$' -v
+
 # soak runs the chaos property tests — random link flaps under load with
 # byte-identical payload, epoch-convergence and rail-readmission
-# assertions — with the race detector on.
+# assertions — and the many-senders contention wall (2..64 senders x
+# topology x mode x flow on/off, byte-identical delivery without deadlock),
+# all with the race detector on.
 soak:
 	$(GO) test -race ./internal/fwd -run '^TestChaosSoakSelfHealing$$|^TestHealth' -v
+	$(GO) test -race ./internal/fwd -run '^TestManySendersContentionWall$$' -v
 	$(GO) test -race ./internal/health
 
 # fuzz smokes every wire-codec fuzz target for FUZZTIME each (go test
@@ -96,4 +110,9 @@ cover:
 	@$(GO) tool cover -func=cover_flight.out | awk -v min=$(COVER_MIN) \
 		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
 		   printf "flight coverage: %s%% (gate: %s%%)\n", cov, min; \
+		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'
+	$(GO) test -coverprofile=cover_flow.out ./internal/flow
+	@$(GO) tool cover -func=cover_flow.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
+		   printf "flow coverage: %s%% (gate: %s%%)\n", cov, min; \
 		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'

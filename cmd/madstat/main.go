@@ -49,6 +49,8 @@ func main() {
 		flapFor = flag.Duration("flapfor", 0, "virtual duration of the -flap outage (default 100ms)")
 
 		healthOn = flag.Bool("health", false, "arm the link-health failure detector and print its panel")
+		flowOn   = flag.Bool("flow", false, "arm credit-based gateway flow control and print its panel")
+		window   = flag.Int("window", 0, "credit window per (gateway, sender) pair (implies -flow)")
 
 		lanes    = flag.Bool("lanes", false, "print the pipeline-bubble lane report")
 		msgs     = flag.String("trace", "", `print message provenance: "all" or a message ID`)
@@ -70,6 +72,11 @@ func main() {
 	}
 	if *healthOn {
 		opts = append(opts, madeleine.WithHealthMonitor())
+	}
+	if *window > 0 {
+		opts = append(opts, madeleine.WithCreditWindow(*window))
+	} else if *flowOn {
+		opts = append(opts, madeleine.WithFlowControl())
 	}
 	if *loss > 0 || *corrupt > 0 || *crash > 0 || *flapNet != "" {
 		plan := madeleine.NewFaultPlan(*seed)
@@ -153,6 +160,18 @@ func main() {
 		for _, i := range idx {
 			b := st.RailBytes[i]
 			fmt.Printf("  rail %d: %d bytes (%.1f%%)\n", i, b, 100*float64(b)/float64(total))
+		}
+	}
+	if fs := sys.FlowStats(); fs.Accounts > 0 || fs.SchedRounds > 0 {
+		fmt.Printf("\nflow control: %d credit accounts, %d granted, %d spent, %d stalls (%v stalled), %d sched rounds, %d backpressure\n",
+			fs.Accounts, fs.CreditsGranted, fs.CreditsSpent, fs.Stalls, fs.StallTime,
+			fs.SchedRounds, fs.Backpressure)
+		if accts := sys.FlowAccounts(); len(accts) > 0 {
+			fmt.Printf("%-22s %10s %10s %8s %12s\n", "account (gw <- sender)", "granted", "spent", "stalls", "stalled")
+			for _, a := range accts {
+				fmt.Printf("%-22s %10d %10d %8d %12v\n",
+					a.Gateway+" <- "+a.Sender, a.Granted, a.Spent, a.Stalls, a.StallTime)
+			}
 		}
 	}
 	if h := sys.Health(); h != nil {
@@ -247,12 +266,14 @@ func emitJSON(sys *madeleine.System, m *madeleine.Metrics) {
 		Links        []linkDoc `json:"links"`
 	}
 	out := struct {
-		Metrics   []madeleine.MetricSample `json:"metrics"`
-		Delivery  madeleine.DeliveryStats  `json:"delivery"`
-		Stripe    *madeleine.StripeStats   `json:"stripe,omitempty"`
-		Health    *healthDoc               `json:"health,omitempty"`
-		Diagnosis madeleine.Diagnosis      `json:"diagnosis"`
-		Dumps     []madeleine.FlightDump   `json:"flight_dumps,omitempty"`
+		Metrics   []madeleine.MetricSample     `json:"metrics"`
+		Delivery  madeleine.DeliveryStats      `json:"delivery"`
+		Stripe    *madeleine.StripeStats       `json:"stripe,omitempty"`
+		Flow      *madeleine.FlowStats         `json:"flow,omitempty"`
+		Accounts  []madeleine.FlowAccountStats `json:"flow_accounts,omitempty"`
+		Health    *healthDoc                   `json:"health,omitempty"`
+		Diagnosis madeleine.Diagnosis          `json:"diagnosis"`
+		Dumps     []madeleine.FlightDump       `json:"flight_dumps,omitempty"`
 	}{
 		Metrics:   m.Samples(),
 		Delivery:  sys.DeliveryStats(),
@@ -267,6 +288,10 @@ func emitJSON(sys *madeleine.System, m *madeleine.Metrics) {
 	}
 	if st := sys.StripeStats(); st.Messages > 0 {
 		out.Stripe = &st
+	}
+	if fs := sys.FlowStats(); fs.Accounts > 0 || fs.SchedRounds > 0 {
+		out.Flow = &fs
+		out.Accounts = sys.FlowAccounts()
 	}
 	if h := sys.Health(); h != nil {
 		hd := &healthDoc{Epoch: h.Epoch(), Probes: h.Probes(), Readmissions: h.Readmissions()}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+
+	"madgo/internal/flow"
+	"madgo/internal/fwd"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/vtime"
+)
+
+func init() {
+	register(&Experiment{
+		ID:          "c1",
+		Title:       "Credit-based gateway fairness under a 64-sender incast",
+		Description: "64 senders (8 large-message 'elephants', 56 small-message 'mice', equal byte totals) funnel through one gateway; per-sender goodput Jain fairness and aggregate goodput, FIFO relay vs credit-window + DRR flow control, against the serialized single-sender ceiling.",
+		Run:         runC1,
+	})
+}
+
+// c1Workload fixes the incast shape: every sender moves the same byte
+// total, but elephants move it as few large messages and mice as many small
+// ones. A FIFO relay loop is message-fair, so byte service becomes
+// proportional to message size — the unfairness the credit + DRR scheduler
+// exists to remove.
+type c1Workload struct {
+	Senders   int
+	Elephants int
+	EleMsg    int // elephant message bytes
+	EleCount  int // messages per elephant
+	MouseMsg  int // mouse message bytes
+	MouseCnt  int // messages per mouse
+}
+
+func c1Full() c1Workload {
+	return c1Workload{Senders: 64, Elephants: 8, EleMsg: 256 * kb, EleCount: 2, MouseMsg: 16 * kb, MouseCnt: 32}
+}
+
+func c1Quick() c1Workload {
+	return c1Workload{Senders: 12, Elephants: 2, EleMsg: 128 * kb, EleCount: 4, MouseMsg: 16 * kb, MouseCnt: 32}
+}
+
+func (wl c1Workload) perSender() int { return wl.EleMsg * wl.EleCount } // == MouseMsg*MouseCnt
+
+func (wl c1Workload) total() int { return wl.Senders * wl.perSender() }
+
+func (wl c1Workload) name(i int) string {
+	if i < wl.Elephants {
+		return fmt.Sprintf("e%d", i)
+	}
+	return fmt.Sprintf("m%d", i-wl.Elephants)
+}
+
+func (wl c1Workload) msgSize(name string) (size, count int) {
+	if name[0] == 'e' {
+		return wl.EleMsg, wl.EleCount
+	}
+	return wl.MouseMsg, wl.MouseCnt
+}
+
+// c1Topo is the incast star: all senders on one edge network, one gateway,
+// the sink alone on the core network behind it.
+func (wl c1Workload) topo() *topo.Topology {
+	b := topo.NewBuilder().Network("edge", "sci").Network("core", "myrinet")
+	for i := 0; i < wl.Senders; i++ {
+		b.Node(wl.name(i), "edge")
+	}
+	b.Node("gw", "edge", "core").Node("sink", "core")
+	tp, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tp
+}
+
+// c1Out is one incast run's outcome.
+type c1Out struct {
+	Jain     float64
+	AggMBps  float64
+	MinMBps  float64
+	MaxMBps  float64
+	Makespan vtime.Duration
+	Stats    fwd.FlowStats
+}
+
+// runIncast drives the full workload concurrently and measures per-sender
+// goodput as each sender's byte total over its own completion time at the
+// sink (equal totals, so the Jain index over goodputs isolates service-rate
+// fairness from demand).
+func runIncast(wl c1Workload, flowOn bool) c1Out {
+	cfg := fwd.DefaultConfig()
+	cfg.FlowControl = flowOn
+	cb := newCustomBed(wl.topo(), cfg)
+	for i := 0; i < wl.Senders; i++ {
+		name := wl.name(i)
+		size, count := wl.msgSize(name)
+		cb.sim.Spawn("incast:"+name, func(p *vtime.Proc) {
+			payload := make([]byte, size)
+			for m := 0; m < count; m++ {
+				px := cb.vc.At(name).BeginPacking(p, "sink")
+				px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+				px.EndPacking(p)
+			}
+		})
+	}
+	left := make(map[string]int, wl.Senders)
+	doneAt := make(map[string]vtime.Time, wl.Senders)
+	totalMsgs := 0
+	for i := 0; i < wl.Senders; i++ {
+		_, count := wl.msgSize(wl.name(i))
+		left[wl.name(i)] = count
+		totalMsgs += count
+	}
+	cb.sim.Spawn("incast:sink", func(p *vtime.Proc) {
+		for i := 0; i < totalMsgs; i++ {
+			u := cb.vc.At("sink").BeginUnpacking(p)
+			from := cb.sess.Node(u.From()).Name
+			size, _ := wl.msgSize(from)
+			u.Unpack(p, make([]byte, size), mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+			left[from]--
+			if left[from] == 0 {
+				doneAt[from] = p.Now()
+			}
+		}
+	})
+	if err := cb.sim.Run(); err != nil {
+		panic(err)
+	}
+	goodputs := make([]float64, 0, wl.Senders)
+	out := c1Out{MinMBps: -1}
+	for i := 0; i < wl.Senders; i++ {
+		name := wl.name(i)
+		t, ok := doneAt[name]
+		if !ok {
+			panic("bench: sender " + name + " never completed")
+		}
+		g := mbps(wl.perSender(), vtime.Duration(t))
+		goodputs = append(goodputs, g)
+		if out.MinMBps < 0 || g < out.MinMBps {
+			out.MinMBps = g
+		}
+		if g > out.MaxMBps {
+			out.MaxMBps = g
+		}
+		if vtime.Duration(t) > out.Makespan {
+			out.Makespan = vtime.Duration(t)
+		}
+	}
+	out.Jain = flow.Jain(goodputs)
+	out.AggMBps = mbps(wl.total(), out.Makespan)
+	out.Stats = cb.vc.FlowStats()
+	return out
+}
+
+// incastCeiling serializes the identical message mix through one sender —
+// the gateway-limited upper bound an ideally scheduled incast can reach.
+// Per-message overheads are included, so aggregate/ceiling measures pure
+// contention loss.
+func incastCeiling(wl c1Workload) float64 {
+	one := wl
+	one.Senders = 1
+	one.Elephants = 1
+	cb := newCustomBed(one.topo(), fwd.DefaultConfig())
+	var done vtime.Time
+	cb.sim.Spawn("ceiling:send", func(p *vtime.Proc) {
+		send := func(size, count int) {
+			payload := make([]byte, size)
+			for m := 0; m < count; m++ {
+				px := cb.vc.At("e0").BeginPacking(p, "sink")
+				px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+				px.EndPacking(p)
+			}
+		}
+		send(wl.EleMsg, wl.EleCount*wl.Elephants)
+		send(wl.MouseMsg, wl.MouseCnt*(wl.Senders-wl.Elephants))
+	})
+	cb.sim.Spawn("ceiling:sink", func(p *vtime.Proc) {
+		for i := 0; i < wl.EleCount*wl.Elephants; i++ {
+			u := cb.vc.At("sink").BeginUnpacking(p)
+			u.Unpack(p, make([]byte, wl.EleMsg), mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+		}
+		for i := 0; i < wl.MouseCnt*(wl.Senders-wl.Elephants); i++ {
+			u := cb.vc.At("sink").BeginUnpacking(p)
+			u.Unpack(p, make([]byte, wl.MouseMsg), mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+		}
+		done = p.Now()
+	})
+	if err := cb.sim.Run(); err != nil {
+		panic(err)
+	}
+	return mbps(wl.total(), vtime.Duration(done))
+}
+
+func runC1(o Options) *Result {
+	wl := c1Full()
+	if o.Quick {
+		wl = c1Quick()
+	}
+	base := runIncast(wl, false)
+	fair := runIncast(wl, true)
+	ceiling := incastCeiling(wl)
+	r := &Result{
+		ID: "c1", Title: fmt.Sprintf(
+			"%d-sender incast through one gateway (%d elephants x %dx%dKB, %d mice x %dx%dKB)",
+			wl.Senders, wl.Elephants, wl.EleCount, wl.EleMsg/kb,
+			wl.Senders-wl.Elephants, wl.MouseCnt, wl.MouseMsg/kb),
+		Header: []string{"run", "Jain", "agg MB/s", "min MB/s", "max MB/s", "stalls", "rounds"},
+		Table: [][]string{
+			{"fifo", fmt.Sprintf("%.3f", base.Jain), fmt.Sprintf("%.1f", base.AggMBps),
+				fmt.Sprintf("%.2f", base.MinMBps), fmt.Sprintf("%.2f", base.MaxMBps), "0", "0"},
+			{"flow", fmt.Sprintf("%.3f", fair.Jain), fmt.Sprintf("%.1f", fair.AggMBps),
+				fmt.Sprintf("%.2f", fair.MinMBps), fmt.Sprintf("%.2f", fair.MaxMBps),
+				fmt.Sprintf("%d", fair.Stats.Stalls), fmt.Sprintf("%d", fair.Stats.SchedRounds)},
+			{"ceiling", "", fmt.Sprintf("%.1f", ceiling), "", "", "", ""},
+		},
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("fifo Jain %.3f vs flow Jain %.3f (gates: <= 0.80 and >= 0.90)", base.Jain, fair.Jain),
+		fmt.Sprintf("flow aggregate %.1f MB/s = %.3fx the serialized ceiling %.1f MB/s (gate: >= 0.95x)",
+			fair.AggMBps, fair.AggMBps/ceiling, ceiling))
+	if fair.Jain < 0.90 {
+		r.Notes = append(r.Notes, fmt.Sprintf("WARNING: flow-controlled Jain %.3f below 0.90", fair.Jain))
+	}
+	if base.Jain > 0.80 {
+		r.Notes = append(r.Notes, fmt.Sprintf("WARNING: FIFO baseline Jain %.3f not measurably unfair", base.Jain))
+	}
+	if fair.AggMBps < 0.95*ceiling {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"WARNING: fairness cost %.1f%% of aggregate goodput", 100*(1-fair.AggMBps/ceiling)))
+	}
+	return r
+}

@@ -235,3 +235,84 @@ func TestMadstatChromeExport(t *testing.T) {
 		t.Fatal("madstat -chrome wrote invalid JSON")
 	}
 }
+
+func TestMadloadIncastBaselineVsFlow(t *testing.T) {
+	args := []string{"-senders", "8", "-elephants", "2", "-count", "4"}
+	base := run(t, "madload", args...)
+	for _, want := range []string{"madload: incast, 8 senders", "Jain fairness", "aggregate", "0 sched rounds"} {
+		if !strings.Contains(base, want) {
+			t.Errorf("baseline output missing %q:\n%s", want, base)
+		}
+	}
+	fair := run(t, "madload", append(args, "-flow")...)
+	if !strings.Contains(fair, "flow control true") || !strings.Contains(fair, "8 accounts") {
+		t.Errorf("flow run shows no credit accounts:\n%s", fair)
+	}
+	if strings.Contains(fair, "0 sched rounds") {
+		t.Errorf("flow run served no scheduler rounds:\n%s", fair)
+	}
+}
+
+func TestMadloadPatternsAndJSON(t *testing.T) {
+	for _, pattern := range []string{"alltoall", "hotspot"} {
+		out := run(t, "madload", "-pattern", pattern, "-senders", "6", "-count", "2")
+		if !strings.Contains(out, "madload: "+pattern) {
+			t.Errorf("%s output:\n%s", pattern, out)
+		}
+	}
+	raw := run(t, "madload", "-senders", "4", "-count", "2", "-window", "4", "-json")
+	var doc struct {
+		Pattern     string `json:"pattern"`
+		FlowControl bool   `json:"flow_control"`
+		Senders     []struct {
+			Name  string `json:"name"`
+			Bytes int64  `json:"bytes"`
+		} `json:"senders"`
+		Jain float64 `json:"jain"`
+		Flow struct {
+			CreditsGranted int64 `json:"CreditsGranted"`
+			CreditsSpent   int64 `json:"CreditsSpent"`
+		} `json:"flow"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("madload -json is not JSON: %v\n%s", err, raw)
+	}
+	if doc.Pattern != "incast" || !doc.FlowControl || len(doc.Senders) != 4 {
+		t.Errorf("json doc: %+v", doc)
+	}
+	if doc.Jain <= 0 || doc.Jain > 1 {
+		t.Errorf("jain %v out of range", doc.Jain)
+	}
+	if doc.Flow.CreditsGranted == 0 || doc.Flow.CreditsGranted != doc.Flow.CreditsSpent {
+		t.Errorf("credit ledger in JSON: %+v", doc.Flow)
+	}
+}
+
+func TestMadstatFlowPanel(t *testing.T) {
+	out := run(t, "madstat", "-flow", "-noprom", "-count", "3", "-bytes", "65536")
+	for _, want := range []string{"flow control:", "credit accounts", "gw <- a1", "sched rounds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("madstat -flow output missing %q:\n%s", want, out)
+		}
+	}
+	raw := run(t, "madstat", "-flow", "-json", "-count", "2", "-bytes", "65536")
+	var doc struct {
+		Flow *struct {
+			CreditsGranted int64 `json:"CreditsGranted"`
+			CreditsSpent   int64 `json:"CreditsSpent"`
+		} `json:"flow"`
+		Accounts []struct {
+			Gateway string `json:"Gateway"`
+			Sender  string `json:"Sender"`
+		} `json:"flow_accounts"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("madstat -flow -json: %v", err)
+	}
+	if doc.Flow == nil || doc.Flow.CreditsGranted == 0 || doc.Flow.CreditsGranted != doc.Flow.CreditsSpent {
+		t.Errorf("flow doc: %+v", doc.Flow)
+	}
+	if len(doc.Accounts) == 0 || doc.Accounts[0].Gateway != "gw" {
+		t.Errorf("accounts doc: %+v", doc.Accounts)
+	}
+}

@@ -1,0 +1,165 @@
+package flow
+
+// DRR is a deficit-round-robin scheduler over flows whose item costs are
+// only known after service — the gateway situation: a relayed message's
+// byte count is discovered while forwarding it, not when its arrival is
+// queued. Each flow keeps a FIFO queue and a signed deficit counter in cost
+// units (bytes). A visit replenishes the flow's deficit by the quantum
+// (capped at one quantum of savings, so an idle flow cannot hoard a burst);
+// the flow is served when its deficit is non-negative, and Charge()
+// afterwards debits the actual cost. A flow that just relayed an elephant
+// goes deep into debt and is skipped until enough rounds repay it, while
+// mouse flows are served every round — long-run byte rates equalize across
+// backlogged flows regardless of per-message size, which FIFO token grabs
+// never do.
+//
+// The scheduler is deterministic: flows are visited in admission order from
+// a slice, never by map iteration. It is not safe for concurrent use; in
+// this codebase it only ever runs under the single-threaded simulation
+// scheduler.
+type DRR[T any] struct {
+	quantum int64
+	flows   map[string]*drrFlow[T]
+	ring    []string // admission-ordered visit sequence
+	cur     int
+	queued  int   // total items across all flows
+	rounds  int64 // completed passes over the ring
+}
+
+type drrFlow[T any] struct {
+	q       []T
+	head    int // index of the queue head; q[:head] is dead space to recycle
+	deficit int64
+}
+
+// NewDRR returns a scheduler with the given replenishment quantum in cost
+// units. A non-positive quantum is pinned to 1 (pure round-robin over
+// items).
+func NewDRR[T any](quantum int64) *DRR[T] {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &DRR[T]{quantum: quantum, flows: make(map[string]*drrFlow[T])}
+}
+
+func (d *DRR[T]) flow(key string) *drrFlow[T] {
+	f, ok := d.flows[key]
+	if !ok {
+		f = &drrFlow[T]{}
+		d.flows[key] = f
+		d.ring = append(d.ring, key)
+	}
+	return f
+}
+
+// Push appends an item to the named flow's queue, admitting the flow on
+// first use.
+func (d *DRR[T]) Push(key string, item T) {
+	f := d.flow(key)
+	if f.head > 0 && f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+	f.q = append(f.q, item)
+	d.queued++
+}
+
+// Pop returns the next item under the DRR policy along with its flow key,
+// or ok=false when every queue is empty. The caller settles the item's
+// actual cost with Charge once it is known.
+func (d *DRR[T]) Pop() (key string, item T, ok bool) {
+	var zero T
+	if d.queued == 0 {
+		return "", zero, false
+	}
+	// Bounded: each pass either serves an item or strictly raises the
+	// most indebted non-empty flow toward zero, and debts are bounded by
+	// the largest single charge.
+	for {
+		key = d.ring[d.cur]
+		f := d.flows[key]
+		d.cur++
+		if d.cur == len(d.ring) {
+			d.cur = 0
+			d.rounds++
+		}
+		if f.head == len(f.q) {
+			// Idle flows pay down debt at the same rate active ones
+			// earn quantum, but never bank a surplus: a flow cannot
+			// profit from going quiet.
+			if f.deficit < 0 {
+				f.deficit += d.quantum
+				if f.deficit > 0 {
+					f.deficit = 0
+				}
+			}
+			continue
+		}
+		f.deficit += d.quantum
+		if f.deficit > d.quantum {
+			f.deficit = d.quantum
+		}
+		if f.deficit < 0 {
+			continue
+		}
+		item = f.q[f.head]
+		f.q[f.head] = zero // release the reference for GC
+		f.head++
+		d.queued--
+		return key, item, true
+	}
+}
+
+// PopFrom pops the head item of one specific flow if the queue is
+// non-empty and match accepts it — the relay daemons use it to extend a
+// just-scheduled flow's service into a windowed burst without giving other
+// flows' deficits a say mid-burst. The cost still goes through Charge.
+func (d *DRR[T]) PopFrom(key string, match func(T) bool) (item T, ok bool) {
+	var zero T
+	f, exists := d.flows[key]
+	if !exists || f.head == len(f.q) {
+		return zero, false
+	}
+	item = f.q[f.head]
+	if match != nil && !match(item) {
+		return zero, false
+	}
+	f.q[f.head] = zero
+	f.head++
+	d.queued--
+	return item, true
+}
+
+// Charge debits the actual cost of a served item against its flow.
+func (d *DRR[T]) Charge(key string, cost int64) {
+	if f, ok := d.flows[key]; ok {
+		f.deficit -= cost
+	}
+}
+
+// Len returns the total number of queued items.
+func (d *DRR[T]) Len() int { return d.queued }
+
+// Flows returns how many flows currently have queued items.
+func (d *DRR[T]) Flows() int {
+	n := 0
+	for _, f := range d.flows {
+		if f.head < len(f.q) {
+			n++
+		}
+	}
+	return n
+}
+
+// Rounds returns how many full passes over the admitted flows the
+// scheduler has completed.
+func (d *DRR[T]) Rounds() int64 { return d.rounds }
+
+// Deficit returns the named flow's current deficit (0 for unknown flows) —
+// a test hook.
+func (d *DRR[T]) Deficit(key string) int64 {
+	if f, ok := d.flows[key]; ok {
+		return f.deficit
+	}
+	return 0
+}

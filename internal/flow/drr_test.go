@@ -1,0 +1,178 @@
+package flow
+
+import "testing"
+
+// drain pops up to n items, returning the sequence of served flow keys and
+// charging each item's cost (items are their own costs here).
+func drain(d *DRR[int64], n int) []string {
+	var keys []string
+	for i := 0; i < n; i++ {
+		key, cost, ok := d.Pop()
+		if !ok {
+			break
+		}
+		d.Charge(key, cost)
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+func TestDRREmptyAndSingleFlow(t *testing.T) {
+	d := NewDRR[int64](100)
+	if _, _, ok := d.Pop(); ok {
+		t.Fatal("Pop on empty scheduler returned an item")
+	}
+	for i := 0; i < 5; i++ {
+		d.Push("only", 100)
+	}
+	if d.Len() != 5 || d.Flows() != 1 {
+		t.Fatalf("Len=%d Flows=%d", d.Len(), d.Flows())
+	}
+	if got := drain(d, 10); len(got) != 5 {
+		t.Fatalf("served %d items, want 5", len(got))
+	}
+	if d.Len() != 0 || d.Flows() != 0 {
+		t.Fatalf("after drain: Len=%d Flows=%d", d.Len(), d.Flows())
+	}
+}
+
+func TestDRRRoundRobinOverEqualFlows(t *testing.T) {
+	d := NewDRR[int64](10)
+	for i := 0; i < 3; i++ {
+		d.Push("a", 10)
+		d.Push("b", 10)
+		d.Push("c", 10)
+	}
+	got := drain(d, 9)
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("serve order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDRRByteFairnessUnderMixedSizes is the property the gateway scheduler
+// exists for: with one elephant flow (large items) and mouse flows (small
+// items), all backlogged, long-run byte shares equalize — the elephant is
+// skipped while it repays its debt instead of hogging every round.
+func TestDRRByteFairnessUnderMixedSizes(t *testing.T) {
+	const quantum = 16
+	d := NewDRR[int64](quantum)
+	// Keep every flow backlogged throughout the measurement window.
+	for i := 0; i < 64; i++ {
+		d.Push("elephant", 256)
+		d.Push("m1", 16)
+		d.Push("m2", 16)
+	}
+	served := map[string]int64{}
+	for i := 0; i < 96; i++ {
+		key, cost, ok := d.Pop()
+		if !ok {
+			t.Fatalf("scheduler ran dry at %d", i)
+		}
+		d.Charge(key, cost)
+		served[key] += cost
+	}
+	total := served["elephant"] + served["m1"] + served["m2"]
+	for f, b := range served {
+		share := float64(b) / float64(total)
+		if share < 0.25 || share > 0.42 {
+			t.Errorf("flow %s byte share %.2f, want ~1/3 (served %v)", f, share, served)
+		}
+	}
+	if j := Jain([]float64{float64(served["elephant"]), float64(served["m1"]), float64(served["m2"])}); j < 0.95 {
+		t.Errorf("Jain over served bytes = %.3f, want >= 0.95 (%v)", j, served)
+	}
+}
+
+func TestDRRNoStarvationDeepDebt(t *testing.T) {
+	d := NewDRR[int64](1)
+	d.Push("deep", 1)
+	_, _, _ = d.Pop()
+	d.Charge("deep", 1_000_000) // a monstrous charge
+	d.Push("deep", 1)
+	// The only backlogged flow must still be served in one Pop (the scan
+	// replenishes until eligible); it must not spin forever.
+	if key, _, ok := d.Pop(); !ok || key != "deep" {
+		t.Fatalf("deeply indebted sole flow not served: %q %v", key, ok)
+	}
+}
+
+func TestDRRIdleFlowCannotBank(t *testing.T) {
+	d := NewDRR[int64](10)
+	d.Push("idle", 10)
+	d.Push("busy", 10)
+	drain(d, 2)
+	// idle goes quiet while busy cycles many times; idle's deficit must
+	// be capped, not accumulate a burst allowance.
+	for i := 0; i < 50; i++ {
+		d.Push("busy", 10)
+		drain(d, 1)
+	}
+	if def := d.Deficit("idle"); def > 10 {
+		t.Fatalf("idle flow banked deficit %d > quantum", def)
+	}
+}
+
+func TestDRRIdleDebtDecays(t *testing.T) {
+	d := NewDRR[int64](10)
+	d.Push("debtor", 5)
+	d.Push("busy", 10)
+	drain(d, 2)
+	d.Charge("debtor", 100) // extra debt, then the flow goes idle
+	before := d.Deficit("debtor")
+	for i := 0; i < 5; i++ {
+		d.Push("busy", 10)
+		drain(d, 1)
+	}
+	after := d.Deficit("debtor")
+	if after < before {
+		t.Fatalf("idle debt grew: %d -> %d", before, after)
+	}
+	if after > 0 {
+		t.Fatalf("idle debt decayed past zero: %d", after)
+	}
+}
+
+func TestDRRPopFrom(t *testing.T) {
+	d := NewDRR[int64](10)
+	d.Push("a", 1)
+	d.Push("a", 2)
+	d.Push("b", 3)
+	if item, ok := d.PopFrom("a", nil); !ok || item != 1 {
+		t.Fatalf("PopFrom(a) = %v %v", item, ok)
+	}
+	if _, ok := d.PopFrom("a", func(v int64) bool { return v > 5 }); ok {
+		t.Fatal("PopFrom matched an item the predicate rejected")
+	}
+	if item, ok := d.PopFrom("a", func(v int64) bool { return v == 2 }); !ok || item != 2 {
+		t.Fatalf("PopFrom(a, match) = %v %v", item, ok)
+	}
+	if _, ok := d.PopFrom("a", nil); ok {
+		t.Fatal("PopFrom on drained flow returned an item")
+	}
+	if _, ok := d.PopFrom("nosuch", nil); ok {
+		t.Fatal("PopFrom on unknown flow returned an item")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDRRQuantumFloorAndRounds(t *testing.T) {
+	d := NewDRR[int64](-5) // pinned to 1
+	d.Push("x", 1)
+	d.Push("y", 1)
+	drain(d, 2)
+	if d.Rounds() < 1 {
+		t.Fatalf("Rounds() = %d, want >= 1 after a full pass", d.Rounds())
+	}
+	if d.Deficit("nosuch") != 0 {
+		t.Fatal("Deficit of unknown flow not zero")
+	}
+	d.Charge("nosuch", 5) // must not panic or admit the flow
+	if _, ok := d.flows["nosuch"]; ok {
+		t.Fatal("Charge admitted an unknown flow")
+	}
+}

@@ -1,0 +1,128 @@
+package fwd
+
+import (
+	"testing"
+
+	"madgo/internal/hw"
+	"madgo/internal/mad"
+	"madgo/internal/vtime"
+)
+
+// White-box tests for the bounded reliable-mode bookkeeping: the per-origin
+// duplicate-suppression window and the reassembly cap replace maps that
+// previously grew one entry per message for the lifetime of the node.
+
+func TestRelDoneWindowExactWithinCap(t *testing.T) {
+	w := &relDoneWindow{set: make(map[uint64]struct{})}
+	for id := uint64(1); id <= relDupWindow; id++ {
+		w.add(id)
+	}
+	if w.size() != relDupWindow {
+		t.Fatalf("size = %d, want %d", w.size(), relDupWindow)
+	}
+	if w.hasFloor {
+		t.Fatal("floor raised before any eviction")
+	}
+	for id := uint64(1); id <= relDupWindow; id++ {
+		if !w.has(id) {
+			t.Fatalf("id %d lost within the window", id)
+		}
+	}
+	if w.has(relDupWindow + 1) {
+		t.Fatal("unseen id reported done")
+	}
+}
+
+func TestRelDoneWindowEvictsToFloor(t *testing.T) {
+	w := &relDoneWindow{set: make(map[uint64]struct{})}
+	const n = 3*relDupWindow + 17
+	for id := uint64(1); id <= n; id++ {
+		w.add(id)
+	}
+	if w.size() != relDupWindow {
+		t.Fatalf("size = %d after %d adds, want bounded at %d", w.size(), n, relDupWindow)
+	}
+	// Every id ever completed must still test as done: recent ones exactly,
+	// evicted ones via the floor.
+	for id := uint64(1); id <= n; id++ {
+		if !w.has(id) {
+			t.Fatalf("id %d forgotten after eviction", id)
+		}
+	}
+	if !w.hasFloor || w.floor != n-relDupWindow {
+		t.Fatalf("floor = %d (set %v), want %d", w.floor, w.hasFloor, n-relDupWindow)
+	}
+	if w.has(n + 1) {
+		t.Fatal("future id reported done")
+	}
+	// The ring's dead space must be compacted, not grow forever.
+	if len(w.ring) > 2*relDupWindow {
+		t.Fatalf("ring grew to %d entries", len(w.ring))
+	}
+}
+
+func TestRelDoneWindowOutOfOrderWithinCap(t *testing.T) {
+	// Completions may land out of order within the window of concurrently
+	// in-flight messages; as long as the spread stays below relDupWindow,
+	// no unseen id may be swallowed by the floor.
+	w := &relDoneWindow{set: make(map[uint64]struct{})}
+	for base := uint64(0); base < 2000; base += 8 {
+		for _, off := range []uint64{3, 1, 4, 2, 8, 6, 7, 5} { // ids 1.. in bursts of 8, shuffled
+			w.add(base + off)
+		}
+	}
+	for id := uint64(1); id <= 2000; id++ {
+		if !w.has(id) {
+			t.Fatalf("id %d forgotten", id)
+		}
+	}
+	if w.has(2008 + 1) {
+		t.Fatal("unseen id reported done")
+	}
+	w.add(2008 + 2)
+	if w.has(2008 + 1) {
+		t.Fatal("gap id swallowed by an out-of-order add")
+	}
+}
+
+func TestRelDoneWindowDuplicateAddIsIdempotent(t *testing.T) {
+	w := &relDoneWindow{set: make(map[uint64]struct{})}
+	for i := 0; i < 5; i++ {
+		w.add(7)
+	}
+	if w.size() != 1 {
+		t.Fatalf("size = %d after duplicate adds, want 1", w.size())
+	}
+}
+
+func TestEvictOldestRxPicksStalest(t *testing.T) {
+	sim := vtime.New()
+	sess := mad.NewSession(hw.NewPlatform(sim))
+	e := &relEngine{
+		vc:   &VirtualChannel{sess: sess},
+		node: sess.AddNode("n0"),
+		rx:   make(map[relMsgKey]*relMsg),
+	}
+	for _, k := range []relMsgKey{
+		{origin: 3, id: 40}, {origin: 1, id: 12}, {origin: 2, id: 12}, {origin: 0, id: 99},
+	} {
+		e.rx[k] = &relMsg{origin: k.origin, id: k.id, frags: make(map[uint32][]byte)}
+	}
+	sim.Spawn("evict", func(p *vtime.Proc) {
+		// Smallest id wins, origin breaks the tie — the stalest partial
+		// under monotone per-origin IDs.
+		e.evictOldestRx(p)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.rx) != 3 || e.rxEvictions != 1 {
+		t.Fatalf("rx size %d evictions %d, want 3 and 1", len(e.rx), e.rxEvictions)
+	}
+	if _, gone := e.rx[relMsgKey{origin: 1, id: 12}]; gone {
+		t.Fatal("victim should be origin 1 id 12, still present")
+	}
+	if _, kept := e.rx[relMsgKey{origin: 2, id: 12}]; !kept {
+		t.Fatal("tie-loser origin 2 id 12 wrongly evicted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"madgo/internal/flight"
+	"madgo/internal/flow"
 	"madgo/internal/hw"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
@@ -21,10 +22,15 @@ type Gateway struct {
 	name string
 
 	// rings holds the persistent pipeline state, one per ingress network.
-	// Each ingress network has exactly one polling daemon and forward()
-	// relays messages to completion before returning to it, so a ring is
-	// only ever used by one message at a time.
+	// Each ingress network has exactly one relaying daemon (the polling
+	// daemon itself, or the fair-scheduling daemon in flow-control mode)
+	// and forward() relays messages to completion before returning to it,
+	// so a ring is only ever used by one message at a time.
 	rings map[string]*relayRing
+
+	// scheds holds the flow-mode arrival schedulers, one per ingress
+	// network; empty unless Config.FlowControl is set.
+	scheds map[string]*gwSched
 
 	// Relay statistics (diagnostics and tests).
 	messages int64
@@ -53,7 +59,20 @@ type relayRing struct {
 }
 
 func newGateway(vc *VirtualChannel, node *mad.Node) *Gateway {
-	return &Gateway{vc: vc, node: node, name: node.Name, rings: make(map[string]*relayRing)}
+	return &Gateway{vc: vc, node: node, name: node.Name,
+		rings: make(map[string]*relayRing), scheds: make(map[string]*gwSched)}
+}
+
+// gwSched is the flow-control arrival scheduler of one ingress network. The
+// polling daemon classifies announcements per ingress sender into the
+// deficit-round-robin queues and the fair-relay daemon serves them in DRR
+// order — replacing the baseline's FIFO "whoever announced first relays
+// next" token grab, under which a backlogged elephant sender captures a
+// byte share proportional to its message size.
+type gwSched struct {
+	drr        *flow.DRR[*mad.Arrival]
+	pending    *vsync.Sem // counts queued announcements; wakes the fair daemon
+	lastRounds int64
 }
 
 // ring returns (creating on first use) the pipeline ring of one ingress
@@ -103,6 +122,10 @@ func (g *Gateway) start() {
 		}
 		ep := spc.At(g.node)
 		nwName := nwName
+		if g.vc.flowc != nil {
+			g.startFair(ep, spc, nwName)
+			continue
+		}
 		sim.SpawnDaemon(fmt.Sprintf("gwpoll:%s:%s", g.name, nwName), func(p *vtime.Proc) {
 			for {
 				a := ep.WaitArrival(p)
@@ -113,6 +136,72 @@ func (g *Gateway) start() {
 			}
 		})
 	}
+}
+
+// startFair spawns the flow-control daemon pair for one ingress network:
+// gwpoll only classifies announcements into the per-sender DRR queues
+// (announcements are cheap — the data transfer happens lazily when the
+// relay receives), and gwfair serves them one message to completion in DRR
+// order, charging each flow the bytes it actually relayed.
+func (g *Gateway) startFair(ep *mad.Endpoint, spc *mad.Channel, nwName string) {
+	sim := g.vc.sess.Platform.Sim
+	sc := &gwSched{
+		drr:     flow.NewDRR[*mad.Arrival](int64(g.vc.cfg.MTU)),
+		pending: vsync.NewSem(0),
+	}
+	g.scheds[nwName] = sc
+	m := g.vc.metrics()
+	gwLabels := obs.Labels{"gateway": g.name}
+	sim.SpawnDaemon(fmt.Sprintf("gwpoll:%s:%s", g.name, nwName), func(p *vtime.Proc) {
+		for {
+			a := ep.WaitArrival(p)
+			if k := a.Kind(); k != mad.KindGTM && k != mad.KindStripe {
+				panic("fwd: non-GTM message on special channel " + spc.Name)
+			}
+			sc.drr.Push(a.Link.Src.Name, a)
+			sc.pending.Release(1)
+		}
+	})
+	sim.SpawnDaemon(fmt.Sprintf("gwfair:%s:%s", g.name, nwName), func(p *vtime.Proc) {
+		for {
+			sc.pending.Acquire(p, 1)
+			key, a, ok := sc.drr.Pop()
+			if !ok {
+				panic("fwd: gateway scheduler woken with empty queues on " + g.name)
+			}
+			sc.drr.Charge(key, g.forward(p, a))
+			// Classic DRR serves a flow until its deficit runs out, not
+			// one item per visit: a flow whose messages are smaller than
+			// the quantum could otherwise never use its full byte share
+			// (the cap on banked deficit forfeits the remainder), handing
+			// large-message flows a permanent rate advantage. Only plain
+			// GTM messages extend a visit: stripe rails pair with a
+			// sibling rail on another gateway, and bursting would let the
+			// two gateways' service orders diverge further than the
+			// sink's bounded reassembly can absorb (a rail message is at
+			// least stripe-threshold sized, so it fills its quantum in
+			// one service anyway).
+			if a.Kind() == mad.KindGTM {
+				for sc.drr.Deficit(key) >= 0 {
+					if !sc.pending.TryAcquire(1) {
+						break
+					}
+					a, ok := sc.drr.PopFrom(key, func(n *mad.Arrival) bool {
+						return n.Kind() == mad.KindGTM
+					})
+					if !ok {
+						sc.pending.Release(1)
+						break
+					}
+					sc.drr.Charge(key, g.forward(p, a))
+				}
+			}
+			if r := sc.drr.Rounds(); r > sc.lastRounds {
+				m.Add("madgo_flow_sched_rounds_total", gwLabels, float64(r-sc.lastRounds))
+				sc.lastRounds = r
+			}
+		}
+	})
 }
 
 // Messages returns the number of messages this gateway relayed.
@@ -197,12 +286,15 @@ func (vc *VirtualChannel) GatewayOK(name string) (*Gateway, bool) {
 // forward relays one self-described message: read its header, choose the
 // egress channel from the routing table (special channel toward another
 // gateway, regular channel toward the final destination — §2.2.2's "right
-// solution"), re-emit the header, then pipeline the packets.
-func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
+// solution"), re-emit the header, then pipeline the packets. It returns the
+// payload bytes relayed, which the flow-control scheduler charges against
+// the ingress sender's deficit.
+func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) int64 {
 	vc := g.vc
 	in := a.Link
 	in.AcquireRecv(p)
 	defer in.ReleaseRecv(p)
+	bytesBefore := g.bytes
 
 	r := g.ring(in.Channel.Network().Name)
 	// A striped rail carries a longer header, but its leading fields are
@@ -222,6 +314,10 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	if !ok {
 		panic("fwd: malformed GTM header at gateway " + g.name)
 	}
+	// The header transfer consumed one of the upstream sender's credits;
+	// it has been read out of the ingress slot, so return the credit.
+	up := in.Src.Name
+	vc.flowGrant(g.name, up, 1)
 	dstName := vc.sess.Node(dstRank).Name
 	hop, ok := vc.tbl.NextHop(g.name, dstName)
 	if !ok {
@@ -230,6 +326,7 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 	vc.metrics().RecordHop(msgID, p.Now(), g.name, "relay",
 		fmt.Sprintf("%s -> %s via %s", in.Channel.Network().Name, hop.To, hop.Network), 0)
 	var outCh *mad.Channel
+	nextGW := ""
 	if hop.To == dstName {
 		outCh = vc.regular[hop.Network]
 	} else {
@@ -237,15 +334,23 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) {
 		if outCh == nil {
 			panic("fwd: next-gateway hop without special channel on " + hop.Network)
 		}
+		// Relaying toward another gateway makes this gateway a sender in
+		// its own right: it spends credits toward the next hop, which is
+		// how backpressure propagates sender-ward across a gateway chain.
+		nextGW = hop.To
 	}
 	out := outCh.Link(g.node.Rank, vc.NodeRank(hop.To))
 	out.Acquire(p)
 	defer out.Release(p)
+	if nextGW != "" {
+		vc.flowSpend(p, nextGW, g.name, msgID)
+	}
 	out.Send(p, mad.TxMeta{SOM: true, Kind: meta.Kind,
 		Blocks: []mad.BlockDesc{{Size: hdrLen, S: mad.SendCheaper, R: mad.ReceiveExpress}}}, hdr)
 
-	g.pipeline(p, r, in, out, mtu, msgID, meta.Kind)
+	g.pipeline(p, r, in, out, mtu, msgID, meta.Kind, up, nextGW)
 	g.messages++
+	return g.bytes - bytesBefore
 }
 
 // relayPacket is the unit handed from the receive thread to the send
@@ -279,7 +384,12 @@ type relayPacket struct {
 // and every buffer is in flight — the wait is recorded as a "stall" span,
 // which obs.AnalyzeLanes accounts to the lane's stall fraction; the deeper
 // the ring, the fewer such bubbles.
-func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu int, msgID uint64, kind mad.Kind) {
+// With flow control armed, the pipeline is also where credits move: every
+// buffer returned to the free list means one ingress transfer fully drained
+// through egress, so one credit goes back to the upstream sender (up), and
+// every egress transfer toward a downstream gateway (nextGW non-empty)
+// spends one of this gateway's own credits first.
+func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu int, msgID uint64, kind mad.Kind, up, nextGW string) {
 	vc := g.vc
 	cfg := vc.cfg
 	tr := cfg.Tracer
@@ -316,8 +426,14 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 		for {
 			pkt, _ := r.full.Recv(sp)
 			if pkt.eom {
+				if nextGW != "" {
+					vc.flowSpend(sp, nextGW, g.name, msgID)
+				}
 				out.Send(sp, mad.TxMeta{Kind: kind, EOM: true}, nil)
 				return
+			}
+			if nextGW != "" {
+				vc.flowSpend(sp, nextGW, g.name, msgID)
 			}
 			t0 := sp.Now()
 			out.Send(sp, mad.TxMeta{Kind: kind, Blocks: pkt.desc}, pkt.data)
@@ -332,6 +448,9 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 			m.ObserveDuration("madgo_gateway_swap_seconds", gwLabels, vtime.Since(sp.Now(), t0))
 			fr.Record(flight.KindSwap, sp.Now(), vtime.Since(sp.Now(), t0), msgID, 0, outNet)
 			r.free.Send(sp, pkt.buf)
+			// The ingress transfer behind this buffer has fully drained
+			// through egress — its credit goes back to the sender.
+			vc.flowGrant(g.name, up, 1)
 		}
 	})
 
@@ -408,6 +527,8 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 			// sender; recycle it directly so the drain below sees the
 			// whole ring.
 			r.free.TrySend(buf)
+			// The terminator transfer also consumed a sender credit.
+			vc.flowGrant(g.name, up, 1)
 			break
 		}
 	}

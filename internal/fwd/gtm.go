@@ -85,6 +85,11 @@ func newGTMPacking(p *vtime.Proc, vc *VirtualChannel, node *mad.Node, link *mad.
 	mtu := vc.PathMTU(node.Name, vc.sess.Node(finalDst).Name)
 	g := &gtmPacking{vc: vc, node: node, link: link, mtu: mtu, id: id}
 	link.Acquire(p)
+	// Every transfer toward the gateway — header, fragments, terminator —
+	// first spends one credit of the (gateway, sender) window; an
+	// exhausted window parks the sender here instead of piling packets
+	// into the gateway's mailbox (no-op with flow control off).
+	vc.flowSpend(p, link.Dst.Name, node.Name, id)
 	link.Send(p, mad.TxMeta{SOM: true, Kind: mad.KindGTM, Blocks: gtmHeaderDesc},
 		encodeGTMHeader(node.Rank, finalDst, g.mtu, g.id))
 	return g
@@ -103,6 +108,7 @@ func (g *gtmPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.Recv
 	}
 	net := g.link.Channel.Network().Name
 	mad.ForEachFragment(len(data), g.mtu, func(off, n int) {
+		g.vc.flowSpend(p, g.link.Dst.Name, g.node.Name, g.id)
 		g.link.Send(p, mad.TxMeta{
 			Kind:   mad.KindGTM,
 			Blocks: []mad.BlockDesc{{Size: n, S: s, R: r}},
@@ -115,6 +121,7 @@ func (g *gtmPacking) pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.Recv
 func (g *gtmPacking) end(p *vtime.Proc) {
 	// "To end a message, the sender sends the description of an empty
 	// message."
+	g.vc.flowSpend(p, g.link.Dst.Name, g.node.Name, g.id)
 	g.link.Send(p, mad.TxMeta{Kind: mad.KindGTM, EOM: true}, nil)
 	g.link.Release(p)
 }

@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"madgo/internal/flight"
+	"madgo/internal/flow"
 	"madgo/internal/mad"
 	"madgo/internal/obs"
 	"madgo/internal/route"
@@ -441,6 +442,74 @@ type relayItem struct {
 	enq  vtime.Time // enqueue instant, for queue-wait attribution (0 = unknown)
 }
 
+const (
+	// relRelayCap bounds each node's relay backlog (items across all
+	// ingress flows); an admission past the cap is refused without an ack
+	// and the upstream ARQ retransmits.
+	relRelayCap = 1024
+	// relDupWindow is how many completed message IDs per origin the
+	// duplicate-suppression record keeps exactly; older IDs are summarised
+	// by a floor. 512 spans far more concurrent in-flight messages per
+	// (origin, destination) pair than the blocking send API can produce.
+	relDupWindow = 512
+	// relRxCap bounds a node's concurrent reassembly states; admitting a
+	// new message past the cap evicts the oldest partial (its origin's
+	// end-to-end timeout resends the whole message — lossy for progress,
+	// never for correctness).
+	relRxCap = 128
+)
+
+// relDoneWindow is the bounded per-origin duplicate-suppression record: the
+// last relDupWindow completed message IDs exactly, and a floor summarising
+// everything evicted. Per-origin IDs are issued monotonically and the
+// blocking send API keeps few of them in flight at once, so by the time an
+// ID is evicted every smaller ID from that origin has long completed —
+// "at or below the floor" is then a sound duplicate verdict. This replaces
+// an ever-growing done map: a long-lived node's bookkeeping stays O(origins
+// × window) no matter how many messages it receives.
+type relDoneWindow struct {
+	set      map[uint64]struct{}
+	ring     []uint64
+	head     int // ring[:head] is dead space, compacted when it reaches the cap
+	floor    uint64
+	hasFloor bool
+}
+
+func (w *relDoneWindow) has(id uint64) bool {
+	if w == nil {
+		return false
+	}
+	if w.hasFloor && id <= w.floor {
+		return true
+	}
+	_, ok := w.set[id]
+	return ok
+}
+
+func (w *relDoneWindow) add(id uint64) {
+	if _, ok := w.set[id]; ok {
+		return
+	}
+	w.set[id] = struct{}{}
+	w.ring = append(w.ring, id)
+	if len(w.ring)-w.head > relDupWindow {
+		old := w.ring[w.head]
+		w.head++
+		delete(w.set, old)
+		if !w.hasFloor || old > w.floor {
+			w.floor, w.hasFloor = old, true
+		}
+		if w.head >= relDupWindow {
+			w.ring = append(w.ring[:0], w.ring[w.head:]...)
+			w.head = 0
+		}
+	}
+}
+
+// size returns how many IDs the window tracks exactly (a test hook for the
+// memory-growth regression).
+func (w *relDoneWindow) size() int { return len(w.set) }
+
 // relEngine is the per-node reliability engine: sequence numbers, awaited
 // acknowledgements, reassembly state, liveness guesses and counters. All of
 // it runs under the single-threaded simulation scheduler, so no locking.
@@ -462,7 +531,7 @@ type relEngine struct {
 	acks map[relAckKey]*relAwait
 	e2e  map[relMsgKey]*relAwait
 	rx   map[relMsgKey]*relMsg
-	done map[relMsgKey]bool
+	done map[mad.Rank]*relDoneWindow
 
 	// pend accumulates hop acknowledgements per reverse link until a
 	// flush (or the batch cap) drains them into one control datagram —
@@ -475,6 +544,12 @@ type relEngine struct {
 	relayQ *vsync.Chan[relayItem]
 	ctlQ   *vsync.Chan[*mad.Link]
 
+	// Flow-control mode replaces the FIFO relayQ with a per-ingress-flow
+	// deficit-round-robin scheduler; relaySem counts its queued items.
+	// Both nil when Config.FlowControl is off.
+	relayDRR *flow.DRR[relayItem]
+	relaySem *vsync.Sem
+
 	retransmits   int64
 	failovers     int64
 	msgResends    int64
@@ -484,8 +559,12 @@ type relEngine struct {
 	dups          int64
 	checksumDrops int64
 	relayDrops    int64
-	ackPackets    int64 // standalone ack datagrams emitted
-	acksCoalesced int64 // ack entries that avoided their own datagram
+	rxEvictions   int64 // partial reassemblies evicted at the relRxCap bound
+	// flowBackpressure counts flow-mode relay admissions refused at
+	// relRelayCap — lossless backpressure, the upstream ARQ retransmits.
+	flowBackpressure int64
+	ackPackets       int64 // standalone ack datagrams emitted
+	acksCoalesced    int64 // ack entries that avoided their own datagram
 
 	fr *flight.Ring // cached flight ring; nil until a recorder is armed
 }
@@ -527,6 +606,7 @@ var relCounterNames = []string{
 	"madgo_duplicates_total",
 	"madgo_checksum_drops_total",
 	"madgo_relay_drops_total",
+	"madgo_rel_rx_evictions_total",
 	"madgo_rel_ack_packets_total",
 	"madgo_rel_acks_coalesced_total",
 }
@@ -552,11 +632,16 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 			acks:    make(map[relAckKey]*relAwait),
 			e2e:     make(map[relMsgKey]*relAwait),
 			rx:      make(map[relMsgKey]*relMsg),
-			done:    make(map[relMsgKey]bool),
+			done:    make(map[mad.Rank]*relDoneWindow),
 			pend:    make(map[*mad.Link][]relAckKey),
 			queued:  make(map[*mad.Link]bool),
-			relayQ:  vsync.NewChan[relayItem]("relq:"+n.Name, 1024),
+			relayQ:  vsync.NewChan[relayItem]("relq:"+n.Name, relRelayCap),
 			ctlQ:    vsync.NewChan[*mad.Link]("ctlq:"+n.Name, 4096),
+		}
+		if vc.flowc != nil {
+			e.relayDRR = flow.NewDRR[relayItem](int64(vc.cfg.MTU))
+			e.relaySem = vsync.NewSem(0)
+			vc.metrics().Add("madgo_flow_backpressure_total", obs.Labels{"node": n.Name}, 0)
 		}
 		vc.rel[n.Name] = e
 		for _, name := range relCounterNames {
@@ -1145,9 +1230,7 @@ func (e *relEngine) handleData(p *vtime.Proc, in *mad.Link, pkt []byte) {
 				fmt.Sprintf("no route to %s except back via %s", finalName, ingress), 0)
 			return
 		}
-		if !e.relayQ.TrySend(relayItem{d: d, from: ingress, enq: p.Now()}) {
-			e.relayDrops++
-			e.count("madgo_relay_drops_total")
+		if !e.enqueueRelay(relayItem{d: d, from: ingress, enq: p.Now()}) {
 			return // backpressure: no ack until the queue drains
 		}
 		e.hopAck(in, d)
@@ -1170,7 +1253,7 @@ func (e *relEngine) handleData(p *vtime.Proc, in *mad.Link, pkt []byte) {
 func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 	e.hopAck(in, d)
 	mkey := relMsgKey{origin: d.origin, id: d.id}
-	if e.done[mkey] {
+	if e.done[d.origin].has(d.id) {
 		// The whole message already arrived; the origin is resending
 		// because our end-to-end ack got lost. Re-ack.
 		e.dups++
@@ -1182,6 +1265,9 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 	}
 	m := e.rx[mkey]
 	if m == nil {
+		if len(e.rx) >= relRxCap {
+			e.evictOldestRx(p)
+		}
 		m = &relMsg{origin: d.origin, id: d.id, total: d.total, frags: make(map[uint32][]byte)}
 		e.rx[mkey] = m
 	}
@@ -1194,7 +1280,11 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 	}
 	m.frags[d.frag] = d.payload
 	if uint32(len(m.frags)) == m.total {
-		e.done[mkey] = true
+		e.markDone(d.origin, d.id)
+		// The reassembled message now travels by reference through the
+		// merged queue; dropping the rx entry is what keeps a long-lived
+		// node's reassembly table from growing one record per message.
+		delete(e.rx, mkey)
 		if !e.vc.merged[e.node.Rank].TrySend(incoming{rel: m}) {
 			panic("fwd: merged arrival queue overflow on " + e.node.Name)
 		}
@@ -1208,6 +1298,39 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 			fmt.Sprintf("reassembled at %s (%d fragments)", e.node.Name, m.total), payload)
 		e.sendE2E(d.origin, d.id)
 	}
+}
+
+// markDone records a completed message in the origin's bounded
+// duplicate-suppression window.
+func (e *relEngine) markDone(origin mad.Rank, id uint64) {
+	w := e.done[origin]
+	if w == nil {
+		w = &relDoneWindow{set: make(map[uint64]struct{})}
+		e.done[origin] = w
+	}
+	w.add(id)
+}
+
+// evictOldestRx drops the reassembly state with the smallest (origin, id) —
+// the stalest partial under monotone per-origin IDs. Its origin's
+// end-to-end timeout resends the whole message, so eviction costs
+// retransmitted bytes, never delivery.
+func (e *relEngine) evictOldestRx(p *vtime.Proc) {
+	var victim relMsgKey
+	found := false
+	for k := range e.rx {
+		if !found || k.id < victim.id || (k.id == victim.id && k.origin < victim.origin) {
+			victim, found = k, true
+		}
+	}
+	if !found {
+		return
+	}
+	delete(e.rx, victim)
+	e.rxEvictions++
+	e.count("madgo_rel_rx_evictions_total")
+	e.hop(victim.id, p.Now(), "evict",
+		fmt.Sprintf("partial reassembly evicted at cap %d", relRxCap), 0)
 }
 
 // hopAck records the hop acknowledgement of one packet against its reverse
@@ -1237,10 +1360,41 @@ func (e *relEngine) sendE2E(origin mad.Rank, id uint64) {
 		d:   relData{origin: origin, final: origin, id: id, frag: e2eFrag},
 		enq: e.sim().Now(),
 	}
-	if !e.relayQ.TrySend(it) {
-		e.relayDrops++
-		e.count("madgo_relay_drops_total")
+	e.enqueueRelay(it) // a refused ack is absorbed by the origin's resend
+}
+
+// enqueueRelay admits one packet to the relay daemon: the per-ingress-flow
+// DRR queues in flow-control mode, the FIFO queue otherwise. A refusal
+// (backlog at capacity) means no hop ack, which the upstream ARQ converts
+// into a retransmission — backpressure, not loss. The callers count a
+// refusal as a relay drop in FIFO mode; in flow mode it is counted here as
+// backpressure instead.
+func (e *relEngine) enqueueRelay(it relayItem) bool {
+	if e.relayDRR == nil {
+		if !e.relayQ.TrySend(it) {
+			e.relayDrops++
+			e.count("madgo_relay_drops_total")
+			return false
+		}
+		return true
 	}
+	if e.relayDRR.Len() >= relRelayCap {
+		e.flowBackpressure++
+		e.metrics().Add("madgo_flow_backpressure_total", obs.Labels{"node": e.node.Name}, 1)
+		return false
+	}
+	e.relayDRR.Push(it.from, it)
+	e.relaySem.Release(1)
+	return true
+}
+
+// relayRounds returns how many full DRR passes the fair relay daemon
+// completed (0 in FIFO mode).
+func (e *relEngine) relayRounds() int64 {
+	if e.relayDRR == nil {
+		return 0
+	}
+	return e.relayDRR.Rounds()
 }
 
 // handleAck completes the awaited slots of one batched acknowledgement.
@@ -1262,6 +1416,10 @@ func (e *relEngine) handleAck(pkt []byte) {
 // upstream sender's ack coalescing instead of re-expanding the stream into
 // stop-and-wait.
 func (e *relEngine) relayLoop(p *vtime.Proc) {
+	if e.relayDRR != nil {
+		e.relayLoopFair(p)
+		return
+	}
 	for {
 		it, ok := e.relayQ.Recv(p)
 		if !ok {
@@ -1312,6 +1470,60 @@ func (e *relEngine) relayLoop(p *vtime.Proc) {
 	}
 }
 
+// relayLoopFair is the flow-control relay daemon: packets are served in
+// deficit-round-robin order over ingress flows instead of FIFO, each flow
+// charged the payload bytes it relayed, so a backlogged elephant sender
+// repays its debt over following rounds while mouse flows keep being
+// served — long-run relay bandwidth equalizes across contending ingress
+// neighbours. Same-flow packets to the same final destination still move
+// as one windowed burst, preserving ack coalescing.
+func (e *relEngine) relayLoopFair(p *vtime.Proc) {
+	qwait := func(item relayItem) {
+		if item.enq > 0 {
+			e.flight().Record(flight.KindQueueWait, p.Now(), p.Now().Sub(item.enq),
+				item.d.id, len(item.d.payload), "")
+		}
+	}
+	for {
+		e.relaySem.Acquire(p, 1)
+		key, it, ok := e.relayDRR.Pop()
+		if !ok {
+			panic("fwd: relay scheduler woken with empty queues on " + e.node.Name)
+		}
+		qwait(it)
+		batch := []relData{it.d}
+		cost := int64(len(it.d.payload))
+		for len(batch) < e.pol.Window {
+			more, ok := e.relayDRR.PopFrom(key, func(m relayItem) bool { return m.d.final == it.d.final })
+			if !ok {
+				break
+			}
+			if !e.relaySem.TryAcquire(1) {
+				panic("fwd: relay scheduler permit ledger out of balance on " + e.node.Name)
+			}
+			qwait(more)
+			batch = append(batch, more.d)
+			cost += int64(len(more.d.payload))
+		}
+		finalName := e.vc.sess.Node(it.d.final).Name
+		if e.forwardBatchExcluding(p, finalName, key, batch) {
+			for _, d := range batch {
+				if d.frag != e2eFrag {
+					e.relayedPkts++
+					e.relayedBytes += int64(len(d.payload))
+					if d.frag == 0 {
+						e.relayedMsgs++
+					}
+				}
+			}
+		} else {
+			e.relayDrops++
+			e.count("madgo_relay_drops_total")
+		}
+		e.relayDRR.Charge(key, cost)
+	}
+}
+
 // ctlLoop is the per-node control daemon: it drains each scheduled link's
 // pending hop acks into one batched acknowledgement datagram. Its sends may
 // block on link credits, but never on another daemon, so the polling
@@ -1344,6 +1556,35 @@ func (e *relEngine) ctlLoop(p *vtime.Proc) {
 			link.Release(p)
 		}
 	}
+}
+
+// RelBookkeeping is the size of the reliable mode's per-message bookkeeping,
+// summed over every node — a hook for the memory-growth regression tests:
+// both figures must stay bounded no matter how many messages a run delivers.
+type RelBookkeeping struct {
+	// DoneIDs is how many completed message IDs the duplicate-suppression
+	// windows track exactly (bounded by relDupWindow per origin).
+	DoneIDs int
+	// RxPartials is how many in-progress reassemblies exist (bounded by
+	// relRxCap per node; 0 on a quiesced run).
+	RxPartials int
+	// RxEvictions is how many partial reassemblies were evicted at the cap.
+	RxEvictions int64
+}
+
+// RelBookkeeping sums the reliable mode's bookkeeping sizes over every node.
+// Zero-valued in streaming mode.
+func (vc *VirtualChannel) RelBookkeeping() RelBookkeeping {
+	var s RelBookkeeping
+	for _, name := range vc.relOrder {
+		e := vc.rel[name]
+		for _, w := range e.done {
+			s.DoneIDs += w.size()
+		}
+		s.RxPartials += len(e.rx)
+		s.RxEvictions += e.rxEvictions
+	}
+	return s
 }
 
 // AckStats aggregates the acknowledgement-traffic counters over every node.

@@ -555,9 +555,19 @@ func (sx *stripePacking) sendRail(p *vtime.Proc, r route.Route, rail, nrails int
 	if !r.Direct() {
 		flags |= stripeFlagForwarded
 	}
+	// Rails that relay through a gateway spend credits like any other
+	// sender; direct rails answer to nobody (no-op with flow control off
+	// and on direct rails, where gw stays empty).
+	gw := ""
+	if !r.Direct() {
+		gw = hop.To
+	}
 	tr := vc.cfg.Tracer
 	t0 := p.Now()
 	link.Acquire(p)
+	if gw != "" {
+		vc.flowSpend(p, gw, sx.node.Name, sx.id)
+	}
 	link.Send(p, mad.TxMeta{SOM: true, Kind: mad.KindStripe, Blocks: stripeHeaderDesc},
 		encodeStripeHeader(stripeHdr{
 			src: sx.node.Rank, dst: dstRank, mtu: mtu, id: sx.id,
@@ -581,6 +591,9 @@ func (sx *stripePacking) sendRail(p *vtime.Proc, r route.Route, rail, nrails int
 			if n > int64(mtu) {
 				n = int64(mtu)
 			}
+			if gw != "" {
+				vc.flowSpend(p, gw, sx.node.Name, sx.id)
+			}
 			link.Send(p, mad.TxMeta{
 				Kind:   mad.KindStripe,
 				Blocks: []mad.BlockDesc{{Size: int(n), S: b.s, R: b.r}},
@@ -589,6 +602,9 @@ func (sx *stripePacking) sendRail(p *vtime.Proc, r route.Route, rail, nrails int
 				fmt.Sprintf("rail %d: %s -> %s via %s", rail, sx.node.Name, link.Dst.Name, net), int(n))
 			off += n
 		}
+	}
+	if gw != "" {
+		vc.flowSpend(p, gw, sx.node.Name, sx.id)
 	}
 	link.Send(p, mad.TxMeta{Kind: mad.KindStripe, EOM: true}, nil)
 	link.Release(p)

@@ -80,6 +80,19 @@ type Config struct {
 	// death or re-admission publishes a new epoch of shared route tables.
 	// Requires Reliable; zero fields of the config take defaults.
 	Health *health.Config
+	// FlowControl arms credit-based gateway flow control (see flowctl.go
+	// and package flow): senders spend a per-(gateway, sender) credit per
+	// wire transfer toward a gateway and the gateway grants credits back as
+	// its relay ring frees, so a many-senders incast turns into typed
+	// sender-side stalls instead of mailbox pressure; gateways additionally
+	// swap their FIFO arrival handling for a deficit-round-robin scheduler
+	// that equalizes long-run byte rates across ingress flows. This is the
+	// "regulate the incoming communication flow on gateways" mechanism the
+	// paper's conclusion leaves as future work.
+	FlowControl bool
+	// CreditWindow overrides the per-(gateway, sender) credit window
+	// (DefaultCreditWindow when 0). Requires FlowControl.
+	CreditWindow int
 }
 
 // DefaultConfig returns the paper's forwarding configuration with a 32 KB
@@ -114,6 +127,12 @@ func (c Config) validate() error {
 	}
 	if c.Health != nil && !c.Reliable {
 		return fmt.Errorf("fwd: Health requires Reliable")
+	}
+	if c.CreditWindow < 0 {
+		return fmt.Errorf("fwd: negative CreditWindow")
+	}
+	if c.CreditWindow > 0 && !c.FlowControl {
+		return fmt.Errorf("fwd: CreditWindow requires FlowControl")
 	}
 	return nil
 }
@@ -173,6 +192,10 @@ type VirtualChannel struct {
 	// nics retains the NIC model of every bound network so the diagnosis
 	// pass can compare observed wire rates against nominal ones.
 	nics map[string]hw.NICParams
+
+	// flowc is the credit-based flow controller; nil unless
+	// Config.FlowControl is set (see flowctl.go).
+	flowc *flowCtl
 }
 
 // netMTU returns the packet-size cap of one network under the PathMTU
@@ -309,6 +332,9 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 	}
 	for name, b := range bindings {
 		vc.nics[name] = b.Drv.NIC()
+	}
+	if cfg.FlowControl {
+		vc.flowc = newFlowCtl(vc, cfg.CreditWindow)
 	}
 	for _, n := range buildTopo.Nodes() {
 		vc.nodes[n.Name] = sess.AddNode(n.Name)

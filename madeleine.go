@@ -112,6 +112,13 @@ type (
 	// AckStats aggregates the reliable mode's acknowledgement traffic
 	// (packets sent, entries coalesced, entries piggybacked on data).
 	AckStats = fwd.AckStats
+	// FlowStats aggregates the credit-based flow-control counters
+	// (credits granted/spent, sender stalls, scheduler rounds,
+	// backpressure refusals) attached with WithFlowControl.
+	FlowStats = fwd.FlowStats
+	// FlowAccountStats is the per-(gateway, sender) credit-account
+	// breakdown behind FlowStats.
+	FlowAccountStats = fwd.FlowAccountStats
 	// Metrics is a virtual-time-aware metrics registry: counters, gauges,
 	// latency histograms and per-message provenance traces, attached with
 	// WithMetrics.
@@ -304,6 +311,14 @@ type Options struct {
 	// Health, when non-nil, arms the link-health failure detector with
 	// epochal self-healing routes (implies reliable delivery).
 	Health *HealthConfig
+	// FlowControl arms credit-based gateway flow control: senders spend a
+	// per-(gateway, sender) credit per wire transfer toward a gateway,
+	// gateways grant credits back as their relay buffers free and schedule
+	// contending ingress flows deficit-round-robin instead of FIFO.
+	FlowControl bool
+	// CreditWindow overrides the per-(gateway, sender) credit window
+	// (default fwd.DefaultCreditWindow). Non-zero implies FlowControl.
+	CreditWindow int
 	// DisableFlight turns the always-on flight recorder off. The recorder
 	// costs well under 5% of goodput (a bounded ring write per event, no
 	// allocation), so leaving it on is the default even for benchmarks.
@@ -427,6 +442,28 @@ func WithoutFlightRecorder() Option { return func(o *Options) { o.DisableFlight 
 // events (default 4096). Older events are overwritten, never reallocated.
 func WithFlightRingCap(n int) Option { return func(o *Options) { o.FlightRingCap = n } }
 
+// WithFlowControl arms credit-based gateway flow control — the "regulate
+// the incoming communication flow on gateways" mechanism the paper's
+// conclusion calls for. Every wire transfer toward a gateway first spends a
+// credit of that (gateway, sender) pair's window; the gateway returns
+// credits as its relay buffers drain, so a 64-sender incast parks senders
+// in bounded, typed stalls (visible as queue-wait flight events and
+// madgo_flow_* metrics) instead of burying the gateway's mailbox. Gateways
+// also replace FIFO arrival service with a deficit-round-robin scheduler
+// charged by relayed bytes, equalizing long-run goodput across contending
+// senders regardless of message size. Query the counters with
+// System.FlowStats.
+func WithFlowControl() Option { return func(o *Options) { o.FlowControl = true } }
+
+// WithCreditWindow sets the per-(gateway, sender) credit window in wire
+// transfers (default fwd.DefaultCreditWindow) and implies WithFlowControl.
+func WithCreditWindow(n int) Option {
+	return func(o *Options) {
+		o.FlowControl = true
+		o.CreditWindow = n
+	}
+}
+
 // WithReliableDelivery switches the virtual channel from the paper's
 // streaming forwarding to reliable datagram delivery: every packet is
 // checksummed and acknowledged hop by hop, lost or corrupted packets are
@@ -530,6 +567,9 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 
 		StripeK:         o.StripeK,
 		StripeThreshold: o.StripeThreshold,
+
+		FlowControl:  o.FlowControl || o.CreditWindow > 0,
+		CreditWindow: o.CreditWindow,
 	}
 	if reliable {
 		if o.Retry != nil {
@@ -629,6 +669,15 @@ func (s *System) StripeStats() StripeStats { return s.Channel.StripeStats() }
 // AckStats returns the reliable mode's acknowledgement-traffic counters,
 // summed over every node. All fields are zero in streaming mode.
 func (s *System) AckStats() AckStats { return s.Channel.AckStats() }
+
+// FlowStats returns the credit-based flow-control counters, aggregated over
+// every credit account and gateway scheduler. All fields are zero without
+// WithFlowControl.
+func (s *System) FlowStats() FlowStats { return s.Channel.FlowStats() }
+
+// FlowAccounts returns the per-(gateway, sender) credit-account counters in
+// account creation order. Empty without WithFlowControl.
+func (s *System) FlowAccounts() []FlowAccountStats { return s.Channel.FlowAccounts() }
 
 // Health returns the link-health failure detector, or nil when the system
 // was built without WithHealthMonitor. Snapshot lists per-link condition,
