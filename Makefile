@@ -5,10 +5,12 @@ FUZZTIME ?= 30s
 # package:target pairs; go test accepts one -fuzz pattern per invocation.
 FUZZ_TARGETS = \
 	internal/fwd:FuzzGTMHeader internal/fwd:FuzzStripeHeader \
+	internal/fwd:FuzzGTMCompactHeader \
 	internal/fwd:FuzzRelData internal/fwd:FuzzRelAck internal/fwd:FuzzRelDesc \
-	internal/health:FuzzHealthProbe internal/flow:FuzzFlowCredit
+	internal/health:FuzzHealthProbe internal/flow:FuzzFlowCredit \
+	internal/agg:FuzzAggFrame
 
-.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate o2-gate c1-gate soak
+.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate o2-gate c1-gate m1-gate soak
 
 check: build vet race cover
 
@@ -32,6 +34,7 @@ bench:
 	$(GO) run ./cmd/madbench -json r2 > BENCH_r2.json
 	$(GO) run ./cmd/madbench -json o2 > BENCH_o2.json
 	$(GO) run ./cmd/madbench -json c1 > BENCH_c1.json
+	$(GO) run ./cmd/madbench -json m1 > BENCH_m1.json
 
 # stripe-gate archives the striping sweep and fails unless K=2 goodput on
 # the dual-rail topology is >= 1.5x the K=1 baseline at 64-128 KB. The
@@ -70,6 +73,16 @@ o2-gate:
 c1-gate:
 	$(GO) run ./cmd/madbench -json c1 > BENCH_c1.json
 	$(GO) test ./internal/bench -run '^TestC1FlowGate$$' -v
+
+# m1-gate archives the eager small-message sweep and fails unless the
+# eager+aggregation configuration delivers >= 3x the seed framing's goodput
+# for every mice size up to 1 KB while the 64/128 KB parity points, which
+# bypass the coalescer, stay within 2% of the seed. Deterministic, so the
+# gate test reruns the exact sweep the JSON archive came from.
+m1-gate:
+	$(GO) run ./cmd/madbench -json m1 > BENCH_m1.json
+	$(GO) test ./internal/bench -run '^TestM1EagerGate$$' -v
+	$(GO) test ./internal/agg -run 'AllocsNothing' -v
 
 # soak runs the chaos property tests — random link flaps under load with
 # byte-identical payload, epoch-convergence and rail-readmission
@@ -115,4 +128,9 @@ cover:
 	@$(GO) tool cover -func=cover_flow.out | awk -v min=$(COVER_MIN) \
 		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
 		   printf "flow coverage: %s%% (gate: %s%%)\n", cov, min; \
+		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'
+	$(GO) test -coverprofile=cover_agg.out ./internal/agg
+	@$(GO) tool cover -func=cover_agg.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
+		   printf "agg coverage: %s%% (gate: %s%%)\n", cov, min; \
 		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'

@@ -14,6 +14,14 @@
 //	madload -senders 64 -elephants 8 -flow   # the c1 contention wall shape
 //	madload -pattern alltoall -senders 8     # bidirectional cross-cluster load
 //	madload -pattern hotspot -flow -json     # machine-readable report
+//	madload -small 64 -bytes 512 -agg        # mice rate: msgs/s + p50/p99 latency
+//
+// The -small N mode measures the eager small-message path: every sender
+// streams N back-to-back messages of -bytes size, each delivery is timed
+// into the madgo_message_latency_seconds histogram, and the report adds the
+// aggregate message rate with the p50/p99 delivery latency read back from
+// the histogram. Combine with -eager (compact framing) and -agg
+// (cross-message aggregation) to compare against the seed framing.
 package main
 
 import (
@@ -40,9 +48,15 @@ func main() {
 		window   = flag.Int("window", 0, "credit window per (gateway, sender) pair (0 = default; implies -flow)")
 		mtu      = flag.Int("mtu", 32*1024, "forwarding packet size")
 		depth    = flag.Int("depth", 2, "gateway pipeline depth")
+		small    = flag.Int("small", 0, "mice-rate mode: stream N messages of -bytes per sender, report msgs/s and p50/p99 latency")
+		eager    = flag.Bool("eager", false, "compact eager framing (header/terminator piggybacking) for forwarded messages")
+		aggOn    = flag.Bool("agg", false, "cross-message aggregation of sub-MTU messages (implies -eager)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of text")
 	)
 	flag.Parse()
+	if *small > 0 {
+		*count = *small
+	}
 	if *senders < 2 {
 		fatal(fmt.Errorf("need at least 2 senders, got %d", *senders))
 	}
@@ -52,6 +66,12 @@ func main() {
 
 	opts := []madeleine.Option{madeleine.WithMTU(*mtu), madeleine.WithPipelineDepth(*depth),
 		madeleine.WithMetrics(madeleine.NewMetrics())}
+	if *eager || *aggOn {
+		opts = append(opts, madeleine.WithEagerSmallMessages())
+	}
+	if *aggOn {
+		opts = append(opts, madeleine.WithAggregation())
+	}
 	if *flowOn || *window > 0 {
 		if *window > 0 {
 			opts = append(opts, madeleine.WithCreditWindow(*window))
@@ -79,6 +99,13 @@ func main() {
 	rep := ld.run(sys)
 	rep.Pattern = *pattern
 	rep.FlowControl = *flowOn || *window > 0
+	if *small > 0 {
+		rep.Mice = miceStats(sys, ld, rep)
+	}
+	if *aggOn {
+		st := sys.AggStats()
+		rep.Agg = &st
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -98,6 +125,17 @@ type senderReport struct {
 	MBps  float64 `json:"goodput_mbps"`
 }
 
+// miceReport is the -small mode summary: the aggregate message rate and the
+// delivery-latency quantiles read back from the per-sink
+// madgo_message_latency_seconds histograms (the worst sink is reported, so
+// multi-sink patterns do not hide a slow one).
+type miceReport struct {
+	Msgs       int     `json:"messages"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	P50Seconds float64 `json:"latency_p50_seconds"`
+	P99Seconds float64 `json:"latency_p99_seconds"`
+}
+
 // report is the run summary madload prints.
 type report struct {
 	Pattern     string                       `json:"pattern"`
@@ -108,6 +146,31 @@ type report struct {
 	MakespanNS  int64                        `json:"makespan_ns"`
 	Flow        madeleine.FlowStats          `json:"flow"`
 	Accounts    []madeleine.FlowAccountStats `json:"flow_accounts,omitempty"`
+	Mice        *miceReport                  `json:"mice,omitempty"`
+	Agg         *madeleine.AggStats          `json:"agg,omitempty"`
+}
+
+// miceStats reads the message rate and latency quantiles of a -small run
+// out of the metrics registry the sinks observed into.
+func miceStats(sys *madeleine.System, ld load, rep *report) *miceReport {
+	mr := &miceReport{}
+	for _, s := range rep.Senders {
+		mr.Msgs += s.Msgs
+	}
+	if rep.MakespanNS > 0 {
+		mr.MsgsPerSec = float64(mr.Msgs) / madeleine.Duration(rep.MakespanNS).Seconds()
+	}
+	m := sys.Metrics()
+	for sink := range ld.sinks {
+		labels := madeleine.MetricLabels{"node": sink}
+		if p50, ok := m.Quantile("madgo_message_latency_seconds", labels, 0.5); ok && p50 > mr.P50Seconds {
+			mr.P50Seconds = p50
+		}
+		if p99, ok := m.Quantile("madgo_message_latency_seconds", labels, 0.99); ok && p99 > mr.P99Seconds {
+			mr.P99Seconds = p99
+		}
+	}
+	return mr
 }
 
 func (r *report) write(w *os.File) {
@@ -122,6 +185,15 @@ func (r *report) write(w *os.File) {
 	fmt.Fprintf(w, "flow: %d accounts, %d credits granted, %d spent, %d stalls (%v stalled), %d sched rounds, %d backpressure\n",
 		r.Flow.Accounts, r.Flow.CreditsGranted, r.Flow.CreditsSpent,
 		r.Flow.Stalls, r.Flow.StallTime, r.Flow.SchedRounds, r.Flow.Backpressure)
+	if r.Mice != nil {
+		fmt.Fprintf(w, "mice: %d msgs, %.0f msgs/s, latency p50 %.1fµs p99 %.1fµs\n",
+			r.Mice.Msgs, r.Mice.MsgsPerSec, r.Mice.P50Seconds*1e6, r.Mice.P99Seconds*1e6)
+	}
+	if r.Agg != nil {
+		fmt.Fprintf(w, "agg: %d sub-messages in %d frames (%d bytes), flushes size/idle/ordering %d/%d/%d, %d bypassed\n",
+			r.Agg.SubMessages, r.Agg.Frames, r.Agg.FrameBytes,
+			r.Agg.SizeFlushes, r.Agg.IdleFlushes, r.Agg.OrderingFlushes, r.Agg.BypassMessages)
+	}
 }
 
 // load couples a generated topology with the procs that drive it.
@@ -228,10 +300,18 @@ func (ld load) run(sys *madeleine.System) *report {
 	// Map iteration order would vary the spawn order and with it the whole
 	// simulated schedule; sorted keys keep identical invocations
 	// byte-identical.
+	// sentAt queues each lane's (sender, destination) send instants in send
+	// order; deliveries on a lane arrive in that order, so the sink times
+	// each message by popping its lane's queue. The simulation is
+	// single-threaded and cooperative, so the shared map needs no lock.
+	type lane struct{ from, to string }
+	sentAt := map[lane][]madeleine.Time{}
 	for _, name := range sortedKeys(ld.sends) {
 		name, specs := name, ld.sends[name]
 		sys.Spawn("load:"+name, func(p *madeleine.Proc) {
 			for _, sp := range specs {
+				k := lane{name, sp.to}
+				sentAt[k] = append(sentAt[k], p.Now())
 				px := sys.At(name).BeginPacking(p, sp.to)
 				px.Pack(p, make([]byte, sp.size), madeleine.SendCheaper, madeleine.ReceiveCheaper)
 				px.EndPacking(p)
@@ -264,6 +344,11 @@ func (ld load) run(sys *madeleine.System) *report {
 				}
 				u.Unpack(p, make([]byte, size), madeleine.SendCheaper, madeleine.ReceiveCheaper)
 				u.EndUnpacking(p)
+				k := lane{from, sink}
+				t0 := sentAt[k][0]
+				sentAt[k] = sentAt[k][1:]
+				sys.Metrics().ObserveDuration("madgo_message_latency_seconds",
+					madeleine.MetricLabels{"node": sink}, p.Now().Sub(t0))
 				t := tallies[from]
 				t.bytes += int64(size)
 				t.msgs++

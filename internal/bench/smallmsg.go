@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"madgo/internal/fwd"
+	"madgo/internal/mad"
+	"madgo/internal/topo"
+	"madgo/internal/vtime"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "m1",
+		Title: "Eager small-message path: compact framing + cross-message aggregation",
+		Description: "Forwarded message-rate sweep from 64 B to 4 KB (plus 64/128 KB parity points) " +
+			"through one gateway, seed GTM framing vs eager compact framing vs eager+aggregation. " +
+			"The seed spends F+2 wire transfers per message, so mice pay three per-transfer " +
+			"overheads for one fragment; compact framing piggybacks header and terminator, and " +
+			"the coalescer packs whole bursts into single MTU-sized frames.",
+		Run: runM1,
+	})
+}
+
+// m1Sizes is the sweep: mice (the eager path's target) plus two elephant
+// parity points that must not regress — they bypass the coalescer.
+var (
+	m1Small = []int{64, 128, 256, 512, 1 * kb, 2 * kb, 4 * kb}
+	m1Large = []int{64 * kb, 128 * kb}
+)
+
+// m1Topo is the forwarding path the framing change targets: one sender, one
+// gateway bridging the paper's two high-speed networks, one sink. Every
+// transfer crosses the gateway, so per-transfer software overhead dominates
+// small-message rate.
+func m1Topo() *topo.Topology {
+	tp, err := topo.NewBuilder().
+		Network("edge", "sci").
+		Network("core", "myrinet").
+		Node("a", "edge").
+		Node("gw", "edge", "core").
+		Node("b", "core").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return tp
+}
+
+// m1Out is one (config, size) cell: goodput and message rate over a
+// back-to-back stream.
+type m1Out struct {
+	MBps    float64
+	MsgsSec float64
+}
+
+// runM1Stream drives count back-to-back messages of the given size through
+// the gateway and measures goodput and message rate at the sink over the
+// whole stream (makespan includes any trailing idle-flush deadline, so
+// aggregation cannot hide latency in the measurement).
+func runM1Stream(cfg fwd.Config, size, count int) m1Out {
+	cb := newCustomBed(m1Topo(), cfg)
+	payload := make([]byte, size)
+	cb.sim.Spawn("m1:send", func(p *vtime.Proc) {
+		for m := 0; m < count; m++ {
+			px := cb.vc.At("a").BeginPacking(p, "b")
+			px.Pack(p, payload, mad.SendCheaper, mad.ReceiveCheaper)
+			px.EndPacking(p)
+		}
+	})
+	var done vtime.Time
+	cb.sim.Spawn("m1:recv", func(p *vtime.Proc) {
+		buf := make([]byte, size)
+		for m := 0; m < count; m++ {
+			u := cb.vc.At("b").BeginUnpacking(p)
+			u.Unpack(p, buf, mad.SendCheaper, mad.ReceiveCheaper)
+			u.EndUnpacking(p)
+		}
+		done = p.Now()
+	})
+	if err := cb.sim.Run(); err != nil {
+		panic(err)
+	}
+	d := vtime.Duration(done)
+	return m1Out{
+		MBps:    mbps(size*count, d),
+		MsgsSec: float64(count) / (float64(d) / float64(vtime.Second)),
+	}
+}
+
+// m1Count picks the stream length for one message size: enough messages to
+// amortize startup for mice, fewer for the elephant parity points.
+func m1Count(size int, quick bool) int {
+	count := 256
+	if size >= 16*kb {
+		count = 16
+	}
+	if quick {
+		count /= 4
+	}
+	return count
+}
+
+func m1Configs() (seed, eager, agg fwd.Config) {
+	seed = fwd.DefaultConfig()
+	eager = fwd.DefaultConfig()
+	eager.Eager = true
+	agg = fwd.DefaultConfig()
+	agg.Eager = true
+	agg.Aggregation = true
+	return seed, eager, agg
+}
+
+func runM1(o Options) *Result {
+	seedCfg, eagerCfg, aggCfg := m1Configs()
+	sizes := append(append([]int{}, m1Small...), m1Large...)
+	r := &Result{
+		ID:     "m1",
+		Title:  "Small-message goodput through one gateway: seed framing vs eager vs eager+aggregation",
+		Header: []string{"bytes", "seed MB/s", "eager MB/s", "agg MB/s", "seed msg/s", "agg msg/s", "agg/seed"},
+	}
+	worstSmall, worstLarge := 0.0, 0.0
+	for _, size := range sizes {
+		count := m1Count(size, o.Quick)
+		seed := runM1Stream(seedCfg, size, count)
+		eager := runM1Stream(eagerCfg, size, count)
+		agg := runM1Stream(aggCfg, size, count)
+		ratio := agg.MBps / seed.MBps
+		r.Table = append(r.Table, []string{
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%.2f", seed.MBps),
+			fmt.Sprintf("%.2f", eager.MBps),
+			fmt.Sprintf("%.2f", agg.MBps),
+			fmt.Sprintf("%.0f", seed.MsgsSec),
+			fmt.Sprintf("%.0f", agg.MsgsSec),
+			fmt.Sprintf("%.2fx", ratio),
+		})
+		if size <= 1*kb && (worstSmall == 0 || ratio < worstSmall) {
+			worstSmall = ratio
+		}
+		if size >= 64*kb && (worstLarge == 0 || ratio < worstLarge) {
+			worstLarge = ratio
+		}
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("eager+agg vs seed: worst <=1KB speedup %.2fx (gate: >= 3x), worst >=64KB parity %.3fx (gate: >= 0.98x)",
+			worstSmall, worstLarge))
+	if worstSmall < 3.0 {
+		r.Notes = append(r.Notes, fmt.Sprintf("WARNING: small-message speedup %.2fx below the 3x gate", worstSmall))
+	}
+	if worstLarge < 0.98 {
+		r.Notes = append(r.Notes, fmt.Sprintf("WARNING: large-message parity %.3fx below the 0.98x gate", worstLarge))
+	}
+	return r
+}

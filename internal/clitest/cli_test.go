@@ -288,6 +288,43 @@ func TestMadloadPatternsAndJSON(t *testing.T) {
 	}
 }
 
+func TestMadloadSmallMessageMode(t *testing.T) {
+	args := []string{"-small", "24", "-bytes", "512", "-senders", "4"}
+	seed := run(t, "madload", args...)
+	if !strings.Contains(seed, "mice: 96 msgs,") || !strings.Contains(seed, "latency p50") {
+		t.Errorf("-small output missing mice line:\n%s", seed)
+	}
+	if strings.Contains(seed, "agg:") {
+		t.Errorf("seed run reports aggregation stats:\n%s", seed)
+	}
+	raw := run(t, "madload", append(args, "-agg", "-json")...)
+	var doc struct {
+		Mice *struct {
+			Msgs       int     `json:"messages"`
+			MsgsPerSec float64 `json:"msgs_per_sec"`
+			P50        float64 `json:"latency_p50_seconds"`
+			P99        float64 `json:"latency_p99_seconds"`
+		} `json:"mice"`
+		Agg *struct {
+			SubMessages int64 `json:"SubMessages"`
+			Frames      int64 `json:"Frames"`
+		} `json:"agg"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("madload -small -json: %v\n%s", err, raw)
+	}
+	if doc.Mice == nil || doc.Mice.Msgs != 96 || doc.Mice.MsgsPerSec <= 0 {
+		t.Fatalf("mice doc: %+v", doc.Mice)
+	}
+	if doc.Mice.P50 <= 0 || doc.Mice.P99 < doc.Mice.P50 {
+		t.Errorf("latency quantiles: %+v", doc.Mice)
+	}
+	if doc.Agg == nil || doc.Agg.SubMessages != 96 || doc.Agg.Frames == 0 ||
+		doc.Agg.Frames >= doc.Agg.SubMessages {
+		t.Errorf("agg doc: %+v", doc.Agg)
+	}
+}
+
 func TestMadstatFlowPanel(t *testing.T) {
 	out := run(t, "madstat", "-flow", "-noprom", "-count", "3", "-bytes", "65536")
 	for _, want := range []string{"flow control:", "credit accounts", "gw <- a1", "sched rounds"} {

@@ -29,12 +29,13 @@ const (
 	StageRexmit                  // expired ack waits and resend backoffs
 	StageReassembly              // stripe rail-completion spread at the sink
 	StageAckWait                 // successful end-to-end acknowledgement wait
+	StageAggWait                 // sat in an aggregation coalescer before its flush
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"pack", "queue-wait", "wire", "buffer-swap", "relay-stall",
-	"retransmit+backoff", "stripe-reassembly", "ack-wait",
+	"retransmit+backoff", "stripe-reassembly", "ack-wait", "agg-wait",
 }
 
 func (s Stage) String() string {
@@ -45,9 +46,11 @@ func (s Stage) String() string {
 }
 
 // stageOf maps an event kind to the budget stage it charges. KindWire,
-// KindProbe and KindEpoch return ok=false: wire events duplicate the
-// per-message send/recv accounting at link granularity (they feed the
-// PIO/DMA diagnosis instead), and probes/epochs are not message work.
+// KindProbe, KindEpoch and KindAggFlush return ok=false: wire events
+// duplicate the per-message send/recv accounting at link granularity (they
+// feed the PIO/DMA diagnosis instead), probes/epochs are not message work,
+// and a flush marker is instantaneous (the per-sub waiting time is what
+// KindAggWait charges).
 func stageOf(k Kind) (Stage, bool) {
 	switch k {
 	case KindPack:
@@ -66,6 +69,8 @@ func stageOf(k Kind) (Stage, bool) {
 		return StageReassembly, true
 	case KindAckWait:
 		return StageAckWait, true
+	case KindAggWait:
+		return StageAggWait, true
 	}
 	return 0, false
 }

@@ -53,12 +53,15 @@ const (
 	KindProbe                  // a health probe round trip
 	KindEpoch                  // a routing-epoch change published by the health monitor
 	KindWire                   // a link-level send as timed by the mad layer
+	KindAggFlush               // an aggregate frame flushed by the coalescer
+	KindAggWait                // time a sub-message waited in a coalescer before its flush
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"send", "recv", "swap", "stall", "rexmit", "backoff", "pack",
 	"queue-wait", "ack-wait", "reassembly", "probe", "epoch", "wire",
+	"agg-flush", "agg-wait",
 }
 
 func (k Kind) String() string {

@@ -10,10 +10,13 @@ import (
 
 // DefaultCreditWindow is the per-(gateway, sender) credit window when
 // Config.FlowControl is on and Config.CreditWindow is zero: how many wire
-// transfers (header, fragments, terminator) one sender may have outstanding
-// toward one gateway. Wide enough to keep a PipelineDepth-deep ring busy
-// across the grant round trip, small enough that 64 senders cannot bury a
-// gateway's mailbox.
+// transfers one sender may have outstanding toward one gateway. The cost
+// model charges exactly what crosses the wire — F+2 transfers per seed GTM
+// message (header, fragments, terminator), F or fewer under the eager
+// compact framing (header and terminator piggyback on data fragments), and
+// a single credit per aggregate frame however many sub-messages it coalesces.
+// Wide enough to keep a PipelineDepth-deep ring busy across the grant round
+// trip, small enough that 64 senders cannot bury a gateway's mailbox.
 const DefaultCreditWindow = 16
 
 // flowKey identifies one credit account: the granting gateway and the

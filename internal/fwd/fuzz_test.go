@@ -43,6 +43,37 @@ func FuzzGTMHeader(f *testing.F) {
 	})
 }
 
+// FuzzGTMCompactHeader covers the eager path's compact first transfer: a
+// GTM header with the first data fragment glued on. The fragment may be
+// empty (header-only compact frame); everything after the header is
+// fragment, so any length at or above gtmHeaderLen with a usable MTU must
+// be accepted and round-trip exactly.
+func FuzzGTMCompactHeader(f *testing.F) {
+	for _, seed := range gtmCompactSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, dst, mtu, id, frag, ok := decodeGTMCompact(data)
+		if !ok {
+			if len(data) >= gtmHeaderLen && binary.LittleEndian.Uint32(data[8:]) != 0 {
+				t.Fatalf("rejected a well-formed %d-byte compact frame with mtu %d",
+					len(data), binary.LittleEndian.Uint32(data[8:]))
+			}
+			return
+		}
+		if mtu <= 0 {
+			t.Fatalf("accepted compact frame with unusable mtu %d", mtu)
+		}
+		if len(frag) != len(data)-gtmHeaderLen {
+			t.Fatalf("fragment length %d does not cover the %d bytes after the header",
+				len(frag), len(data)-gtmHeaderLen)
+		}
+		if re := encodeGTMCompact(src, dst, mtu, id, frag); !bytes.Equal(re, data) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
 func FuzzStripeHeader(f *testing.F) {
 	for _, seed := range stripeHeaderSeeds() {
 		f.Add(seed)
@@ -181,6 +212,17 @@ func gtmHeaderSeeds() [][]byte {
 	}
 }
 
+func gtmCompactSeeds() [][]byte {
+	return [][]byte{
+		encodeGTMCompact(0, 1, 4096, 1, []byte("tiny payload")),
+		encodeGTMCompact(3, 7, 1, ^uint64(0), nil), // header-only: empty eager message
+		encodeGTMCompact(8, 4, 1<<31-1, 42, make([]byte, eagerInlineMax)),
+		make([]byte, gtmHeaderLen), // right length, mtu 0 → rejected
+		make([]byte, gtmHeaderLen-1),
+		{},
+	}
+}
+
 func stripeHeaderSeeds() [][]byte {
 	return [][]byte{
 		encodeStripeHeader(stripeHdr{src: 0, dst: 1, mtu: 4096, id: 1,
@@ -244,11 +286,12 @@ func relDescSeeds() [][]byte {
 // a bare `go test` only verifies the files are present and well-formed.
 func TestRegenFuzzCorpus(t *testing.T) {
 	corpora := map[string][][]byte{
-		"FuzzGTMHeader":    gtmHeaderSeeds(),
-		"FuzzStripeHeader": stripeHeaderSeeds(),
-		"FuzzRelData":      relDataSeeds(),
-		"FuzzRelAck":       relAckSeeds(),
-		"FuzzRelDesc":      relDescSeeds(),
+		"FuzzGTMHeader":        gtmHeaderSeeds(),
+		"FuzzGTMCompactHeader": gtmCompactSeeds(),
+		"FuzzStripeHeader":     stripeHeaderSeeds(),
+		"FuzzRelData":          relDataSeeds(),
+		"FuzzRelAck":           relAckSeeds(),
+		"FuzzRelDesc":          relDescSeeds(),
 	}
 	regen := os.Getenv("MADGO_REGEN_CORPUS") != ""
 	for name, seeds := range corpora {

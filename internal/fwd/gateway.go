@@ -32,6 +32,12 @@ type Gateway struct {
 	// network; empty unless Config.FlowControl is set.
 	scheds map[string]*gwSched
 
+	// txq holds the per-egress-link asynchronous senders for fully
+	// received single-transfer frames (compact eager and aggregate), so
+	// the polling thread can go back to posting ingress receives while a
+	// frame is still streaming out.
+	txq map[*mad.Link]*gwEgress
+
 	// Relay statistics (diagnostics and tests).
 	messages int64
 	packets  int64
@@ -60,7 +66,93 @@ type relayRing struct {
 
 func newGateway(vc *VirtualChannel, node *mad.Node) *Gateway {
 	return &Gateway{vc: vc, node: node, name: node.Name,
-		rings: make(map[string]*relayRing), scheds: make(map[string]*gwSched)}
+		rings: make(map[string]*relayRing), scheds: make(map[string]*gwSched),
+		txq: make(map[*mad.Link]*gwEgress)}
+}
+
+// gwEgressTx is one fully received single-transfer frame queued for
+// asynchronous retransmission on an egress link.
+type gwEgressTx struct {
+	meta   mad.TxMeta
+	data   []byte
+	msgID  uint64
+	nextGW string
+}
+
+// gwEgress decouples a gateway's egress send from its ingress receive at
+// whole-frame grain — the store-and-forward analogue of the packet
+// pipeline's double buffering. A single-transfer compact frame is fully in
+// gateway memory when the relay sees it, so nothing forces the polling
+// thread to sit through the outbound transmission: it hands the frame to
+// this per-egress-link daemon and immediately posts the next ingress
+// receive. Without the handoff, a post-gated upstream (SCI) cannot even
+// start streaming frame k+1 until the gateway finishes sending frame k, and
+// the two transfer times serialise per frame. The queue depth is
+// PipelineDepth, so at most that many frames buffer in the gateway before
+// backpressure reaches the ingress side again.
+type gwEgress struct {
+	q        *vsync.Chan[gwEgressTx]
+	inflight int
+	idle     []*vtime.Waker
+}
+
+// egress returns (creating, with its sender daemon) the asynchronous sender
+// of one egress link.
+func (g *Gateway) egress(out *mad.Link) *gwEgress {
+	if e, ok := g.txq[out]; ok {
+		return e
+	}
+	e := &gwEgress{q: vsync.NewChan[gwEgressTx](
+		fmt.Sprintf("gwtx:%s>%s", g.name, out.Dst.Name), g.vc.cfg.PipelineDepth)}
+	g.txq[out] = e
+	g.vc.sess.Platform.Sim.SpawnDaemon(fmt.Sprintf("gwtx:%s>%s", g.name, out.Dst.Name),
+		func(p *vtime.Proc) {
+			for {
+				tx, ok := e.q.Recv(p)
+				if !ok {
+					return
+				}
+				out.Acquire(p)
+				if tx.nextGW != "" {
+					g.vc.flowSpend(p, tx.nextGW, g.name, tx.msgID)
+				}
+				out.Send(p, tx.meta, tx.data)
+				out.Release(p)
+				e.inflight--
+				if e.inflight == 0 {
+					for _, w := range e.idle {
+						w.Wake()
+					}
+					e.idle = nil
+				}
+			}
+		})
+	return e
+}
+
+// sendEgress queues one frame on the egress daemon (blocking only when
+// PipelineDepth frames are already buffered).
+func (g *Gateway) sendEgress(p *vtime.Proc, out *mad.Link, tx gwEgressTx) {
+	e := g.egress(out)
+	e.inflight++
+	e.q.Send(p, tx)
+}
+
+// fenceEgress blocks until every asynchronously queued frame on the link
+// has been fully sent. Inline relays (multi-transfer messages re-emitting a
+// header and pipelining packets) call it before acquiring the link, so a
+// queued frame can never be overtaken by a message the gateway received
+// after it.
+func (g *Gateway) fenceEgress(p *vtime.Proc, out *mad.Link) {
+	e, ok := g.txq[out]
+	if !ok {
+		return
+	}
+	for e.inflight > 0 {
+		w := p.Blocker("gw egress fence " + g.name)
+		e.idle = append(e.idle, w)
+		w.Wait()
+	}
 }
 
 // gwSched is the flow-control arrival scheduler of one ingress network. The
@@ -129,13 +221,36 @@ func (g *Gateway) start() {
 		sim.SpawnDaemon(fmt.Sprintf("gwpoll:%s:%s", g.name, nwName), func(p *vtime.Proc) {
 			for {
 				a := ep.WaitArrival(p)
-				if k := a.Kind(); k != mad.KindGTM && k != mad.KindStripe {
+				if !relayableKind(a.Kind()) {
 					panic("fwd: non-GTM message on special channel " + spc.Name)
 				}
 				g.forward(p, a)
 			}
 		})
 	}
+}
+
+// relayableKind reports whether a message kind is a self-described stream a
+// gateway can relay: plain GTM, a striped rail, or the compact eager and
+// aggregate framings.
+func relayableKind(k mad.Kind) bool {
+	switch k {
+	case mad.KindGTM, mad.KindStripe, mad.KindEager, mad.KindAgg:
+		return true
+	}
+	return false
+}
+
+// burstableKind reports whether a message kind may extend a DRR visit
+// until the flow's deficit runs out. Stripe rails are excluded (see the
+// comment at the burst loop); everything the GTM frames normally —
+// including the compact and aggregate forms — bursts.
+func burstableKind(k mad.Kind) bool {
+	switch k {
+	case mad.KindGTM, mad.KindEager, mad.KindAgg:
+		return true
+	}
+	return false
 }
 
 // startFair spawns the flow-control daemon pair for one ingress network:
@@ -155,7 +270,7 @@ func (g *Gateway) startFair(ep *mad.Endpoint, spc *mad.Channel, nwName string) {
 	sim.SpawnDaemon(fmt.Sprintf("gwpoll:%s:%s", g.name, nwName), func(p *vtime.Proc) {
 		for {
 			a := ep.WaitArrival(p)
-			if k := a.Kind(); k != mad.KindGTM && k != mad.KindStripe {
+			if !relayableKind(a.Kind()) {
 				panic("fwd: non-GTM message on special channel " + spc.Name)
 			}
 			sc.drr.Push(a.Link.Src.Name, a)
@@ -180,14 +295,16 @@ func (g *Gateway) startFair(ep *mad.Endpoint, spc *mad.Channel, nwName string) {
 			// two gateways' service orders diverge further than the
 			// sink's bounded reassembly can absorb (a rail message is at
 			// least stripe-threshold sized, so it fills its quantum in
-			// one service anyway).
-			if a.Kind() == mad.KindGTM {
+			// one service anyway). The compact eager and aggregate
+			// framings burst like plain GTM: they are exactly the mice
+			// whose fair byte share the deficit extension exists for.
+			if burstableKind(a.Kind()) {
 				for sc.drr.Deficit(key) >= 0 {
 					if !sc.pending.TryAcquire(1) {
 						break
 					}
 					a, ok := sc.drr.PopFrom(key, func(n *mad.Arrival) bool {
-						return n.Kind() == mad.KindGTM
+						return burstableKind(n.Kind())
 					})
 					if !ok {
 						sc.pending.Release(1)
@@ -290,6 +407,9 @@ func (vc *VirtualChannel) GatewayOK(name string) (*Gateway, bool) {
 // payload bytes relayed, which the flow-control scheduler charges against
 // the ingress sender's deficit.
 func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) int64 {
+	if k := a.Kind(); k == mad.KindEager || k == mad.KindAgg {
+		return g.forwardEager(p, a)
+	}
 	vc := g.vc
 	in := a.Link
 	in.AcquireRecv(p)
@@ -340,6 +460,7 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) int64 {
 		nextGW = hop.To
 	}
 	out := outCh.Link(g.node.Rank, vc.NodeRank(hop.To))
+	g.fenceEgress(p, out)
 	out.Acquire(p)
 	defer out.Release(p)
 	if nextGW != "" {
@@ -350,6 +471,83 @@ func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) int64 {
 
 	g.pipeline(p, r, in, out, mtu, msgID, meta.Kind, up, nextGW)
 	g.messages++
+	return g.bytes - bytesBefore
+}
+
+// forwardEager relays a compact (eager or aggregate) message. The first
+// transfer is the self-description header glued to the first data fragment,
+// so it is variable-length: the gateway takes it as a driver-slot handoff,
+// reads the routing fields off the front, and re-emits the whole frame
+// unchanged — oblivious to whether the payload is one small message or an
+// aggregate of many. A single-transfer message (EOM on the first frame) is
+// fully relayed here; a longer one hands its remaining fragments to the
+// ordinary pipeline, whose terminator now rides on the last data transfer
+// instead of a trailing empty one.
+func (g *Gateway) forwardEager(p *vtime.Proc, a *mad.Arrival) int64 {
+	vc := g.vc
+	in := a.Link
+	in.AcquireRecv(p)
+	defer in.ReleaseRecv(p)
+	bytesBefore := g.bytes
+
+	meta, slot := in.Recv(p)
+	if !meta.SOM || meta.Kind != a.Kind() || len(meta.Blocks) < 1 || len(meta.Blocks) > 2 ||
+		meta.Blocks[0].Size != gtmHeaderLen {
+		panic("fwd: malformed compact header at gateway " + g.name)
+	}
+	_, dstRank, mtu, msgID, frag, ok := decodeGTMCompact(slot)
+	if !ok {
+		panic("fwd: malformed compact header at gateway " + g.name)
+	}
+	// The compact first transfer consumed one upstream credit; its slot is
+	// consumed here, so the credit goes straight back.
+	up := in.Src.Name
+	vc.flowGrant(g.name, up, 1)
+	dstName := vc.sess.Node(dstRank).Name
+	hop, ok := vc.tbl.NextHop(g.name, dstName)
+	if !ok {
+		panic(fmt.Sprintf("fwd: gateway %s has no route to %s", g.name, dstName))
+	}
+	vc.metrics().RecordHop(msgID, p.Now(), g.name, "relay",
+		fmt.Sprintf("%s -> %s via %s", in.Channel.Network().Name, hop.To, hop.Network), 0)
+	var outCh *mad.Channel
+	nextGW := ""
+	if hop.To == dstName {
+		outCh = vc.regular[hop.Network]
+	} else {
+		outCh = vc.special[hop.Network]
+		if outCh == nil {
+			panic("fwd: next-gateway hop without special channel on " + hop.Network)
+		}
+		nextGW = hop.To
+	}
+	out := outCh.Link(g.node.Rank, vc.NodeRank(hop.To))
+	if n := len(frag); n > 0 {
+		g.packets++
+		g.bytes += int64(n)
+		m := vc.metrics()
+		gwLabels := obs.Labels{"gateway": g.name}
+		m.Add("madgo_gateway_relayed_packets_total", gwLabels, 1)
+		m.Add("madgo_gateway_relayed_bytes_total", gwLabels, float64(n))
+	}
+	g.messages++
+	txMeta := mad.TxMeta{SOM: true, EOM: meta.EOM, Kind: meta.Kind, Blocks: meta.Blocks}
+	if meta.EOM {
+		// The whole message is in gateway memory (its driver slot), so the
+		// retransmission needs nothing more from this thread: queue it on
+		// the egress daemon and go receive the next frame.
+		g.sendEgress(p, out, gwEgressTx{meta: txMeta, data: slot, msgID: msgID, nextGW: nextGW})
+		return g.bytes - bytesBefore
+	}
+	g.fenceEgress(p, out)
+	out.Acquire(p)
+	defer out.Release(p)
+	if nextGW != "" {
+		vc.flowSpend(p, nextGW, g.name, msgID)
+	}
+	out.Send(p, txMeta, slot)
+	r := g.ring(in.Channel.Network().Name)
+	g.pipeline(p, r, in, out, mtu, msgID, meta.Kind, up, nextGW)
 	return g.bytes - bytesBefore
 }
 
@@ -425,7 +623,10 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 	sender := vc.sess.Platform.Sim.Spawn(fmt.Sprintf("gwsend:%s:%s", g.name, outNet), func(sp *vtime.Proc) {
 		for {
 			pkt, _ := r.full.Recv(sp)
-			if pkt.eom {
+			if pkt.eom && pkt.data == nil {
+				// Bare terminator of the seed framing. The compact framings
+				// never produce one: their terminator rides on the last data
+				// packet (pkt.eom with data below).
 				if nextGW != "" {
 					vc.flowSpend(sp, nextGW, g.name, msgID)
 				}
@@ -436,7 +637,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 				vc.flowSpend(sp, nextGW, g.name, msgID)
 			}
 			t0 := sp.Now()
-			out.Send(sp, mad.TxMeta{Kind: kind, Blocks: pkt.desc}, pkt.data)
+			out.Send(sp, mad.TxMeta{Kind: kind, EOM: pkt.eom, Blocks: pkt.desc}, pkt.data)
 			tr.Record(sendActor, "send", len(pkt.data), t0, sp.Now())
 			fr.Record(flight.KindSend, sp.Now(), vtime.Since(sp.Now(), t0), msgID, len(pkt.data), outNet)
 			if pkt.aux != nil {
@@ -451,6 +652,9 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 			// The ingress transfer behind this buffer has fully drained
 			// through egress — its credit goes back to the sender.
 			vc.flowGrant(g.name, up, 1)
+			if pkt.eom {
+				return
+			}
 		}
 	})
 
@@ -482,16 +686,17 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 		t0 = p.Now()
 		if slotMode {
 			meta, slot := in.Recv(p)
-			if meta.EOM {
+			if len(meta.Blocks) == 0 {
 				pkt = relayPacket{eom: true}
 			} else {
-				pkt = relayPacket{data: slot, desc: meta.Blocks}
+				pkt = relayPacket{data: slot, desc: meta.Blocks, eom: meta.EOM}
 			}
 		} else {
 			meta, n := in.RecvInto(p, buf)
-			if meta.EOM {
+			if len(meta.Blocks) == 0 {
 				pkt = relayPacket{eom: true}
 			} else {
+				pkt.eom = meta.EOM
 				data := buf[:n]
 				if !cfg.ZeroCopy {
 					// Copy-always ablation: stage through an
@@ -508,7 +713,7 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 				pkt.buf = buf
 			}
 		}
-		if !pkt.eom {
+		if pkt.data != nil {
 			tr.Record(recvActor, "recv", len(pkt.data), t0, p.Now())
 			fr.Record(flight.KindRecv, p.Now(), vtime.Since(p.Now(), t0), msgID, len(pkt.data), inNet)
 			g.packets++
@@ -523,12 +728,15 @@ func (g *Gateway) pipeline(p *vtime.Proc, r *relayRing, in, out *mad.Link, mtu i
 		}
 		r.full.Send(p, pkt)
 		if pkt.eom {
-			// The buffer taken for the terminator was never handed to the
-			// sender; recycle it directly so the drain below sees the
-			// whole ring.
-			r.free.TrySend(buf)
-			// The terminator transfer also consumed a sender credit.
-			vc.flowGrant(g.name, up, 1)
+			if pkt.data == nil {
+				// The buffer taken for the bare terminator was never handed
+				// to the sender; recycle it directly so the drain below sees
+				// the whole ring. (A data-carrying terminator travels with
+				// its buffer and is recycled by the send thread as usual.)
+				r.free.TrySend(buf)
+				// The terminator transfer also consumed a sender credit.
+				vc.flowGrant(g.name, up, 1)
+			}
 			break
 		}
 	}

@@ -38,12 +38,20 @@ import (
 // can attribute its relay work to the message's provenance trace).
 const gtmHeaderLen = 20
 
+// putGTMHeader writes the self-description header into b[:gtmHeaderLen],
+// which the caller must have sized already — used both by the allocating
+// encoders below and by the aggregation flush, which reserves the header
+// bytes in front of its frame buffer and fills them in place.
+func putGTMHeader(b []byte, src, dst mad.Rank, mtu int, id uint64) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(src))
+	binary.LittleEndian.PutUint32(b[4:], uint32(dst))
+	binary.LittleEndian.PutUint32(b[8:], uint32(mtu))
+	binary.LittleEndian.PutUint64(b[12:], id)
+}
+
 func encodeGTMHeader(src, dst mad.Rank, mtu int, id uint64) []byte {
 	hdr := make([]byte, gtmHeaderLen)
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(src))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(dst))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(mtu))
-	binary.LittleEndian.PutUint64(hdr[12:], id)
+	putGTMHeader(hdr, src, dst, mtu, id)
 	return hdr
 }
 
@@ -68,6 +76,41 @@ func decodeGTMHeader(hdr []byte) (src, dst mad.Rank, mtu int, id uint64, ok bool
 }
 
 var gtmHeaderDesc = []mad.BlockDesc{{Size: gtmHeaderLen, S: mad.SendCheaper, R: mad.ReceiveExpress}}
+
+// encodeGTMCompact builds the first wire transfer of an eager (compact)
+// message: the ordinary 20-byte self-description header immediately followed
+// by the first data fragment, in one contiguous payload. The transfer's
+// block descriptors keep the two parts separately typed ([header, fragment]),
+// so gateways and receivers can split the frame without any extra length
+// field on the wire.
+func encodeGTMCompact(src, dst mad.Rank, mtu int, id uint64, frag []byte) []byte {
+	b := make([]byte, gtmHeaderLen+len(frag))
+	putGTMHeader(b, src, dst, mtu, id)
+	copy(b[gtmHeaderLen:], frag)
+	return b
+}
+
+// decodeGTMCompact splits a compact first frame back into its header fields
+// and the piggybacked fragment. Like decodeGTMHeader it never panics on
+// malformed input (the frame crosses the wire): ok is false when the payload
+// is shorter than a header or carries an unusable MTU. The fragment may be
+// empty — a header-only compact frame is how an empty eager message (and its
+// terminator) travels as a single transfer.
+func decodeGTMCompact(b []byte) (src, dst mad.Rank, mtu int, id uint64, frag []byte, ok bool) {
+	if len(b) < gtmHeaderLen {
+		return 0, 0, 0, 0, nil, false
+	}
+	mtu = int(binary.LittleEndian.Uint32(b[8:]))
+	if mtu <= 0 {
+		return 0, 0, 0, 0, nil, false
+	}
+	return mad.Rank(binary.LittleEndian.Uint32(b[0:])),
+		mad.Rank(binary.LittleEndian.Uint32(b[4:])),
+		mtu,
+		binary.LittleEndian.Uint64(b[12:]),
+		b[gtmHeaderLen:],
+		true
+}
 
 // gtmPacking is the sender side of the generic transmission module: it
 // bypasses the per-network BMMs (whose grouping differs across devices) and

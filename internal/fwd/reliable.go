@@ -210,6 +210,13 @@ const (
 // retransmission.
 const relFlagFlush = 1 << 0
 
+// relFlagAgg marks every fragment of an aggregate frame (package agg): the
+// final destination reconstructs the frame from the reassembled fragments
+// and unpacks the coalesced sub-messages instead of delivering the message
+// as-is. Unlike relFlagFlush it is an end-to-end property, preserved across
+// hops by sendData.
+const relFlagAgg = 1 << 1
+
 // e2eFrag is the fragment-index sentinel marking an end-to-end ack packet.
 const e2eFrag = ^uint32(0)
 
@@ -427,6 +434,10 @@ type relMsg struct {
 	id     uint64
 	total  uint32
 	frags  map[uint32][]byte
+	// agg marks a message whose payload is an aggregate frame (relFlagAgg):
+	// the unpacking side decodes the frame into its coalesced sub-messages
+	// instead of handing the message to the application directly.
+	agg bool
 }
 
 // relayItem is one packet queued for forwarding by a node's relay daemon.
@@ -672,6 +683,12 @@ func (vc *VirtualChannel) buildReliable(buildTopo *topo.Topology) {
 // acknowledgement arrives. It runs in the application's process (called from
 // EndPacking).
 func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id uint64) {
+	e.sendMessageFlags(p, dst, blocks, id, 0)
+}
+
+// sendMessageFlags is sendMessage with end-to-end packet flags (the
+// aggregate marker) stamped on every fragment.
+func (e *relEngine) sendMessageFlags(p *vtime.Proc, dst string, blocks []relBlock, id uint64, msgFlags uint8) {
 	pol := e.pol
 	// Per-path MTU: fragment at the most constrained network of the
 	// primary route. The descriptor carries the chosen size, so the
@@ -706,7 +723,7 @@ func (e *relEngine) sendMessage(p *vtime.Proc, dst string, blocks []relBlock, id
 	ds := make([]relData, total)
 	for i, pl := range payloads {
 		ds[i] = relData{origin: e.node.Rank, final: final, id: id,
-			frag: uint32(i), total: total, payload: pl}
+			frag: uint32(i), total: total, flags: msgFlags, payload: pl}
 	}
 
 	mkey := relMsgKey{origin: e.node.Rank, id: id}
@@ -976,7 +993,10 @@ func (e *relEngine) sendData(p *vtime.Proc, link *mad.Link, d relData, flush boo
 		kind = mad.KindRelE2E
 		flush = true
 	}
-	var flags uint8
+	// Flush is a per-hop property recomputed at every transmission; the
+	// remaining flags (the aggregate marker) are end-to-end and ride along
+	// unchanged.
+	flags := d.flags &^ relFlagFlush
 	if flush {
 		flags |= relFlagFlush
 	}
@@ -1268,7 +1288,8 @@ func (e *relEngine) acceptLocal(p *vtime.Proc, in *mad.Link, d relData) {
 		if len(e.rx) >= relRxCap {
 			e.evictOldestRx(p)
 		}
-		m = &relMsg{origin: d.origin, id: d.id, total: d.total, frags: make(map[uint32][]byte)}
+		m = &relMsg{origin: d.origin, id: d.id, total: d.total, frags: make(map[uint32][]byte),
+			agg: d.flags&relFlagAgg != 0}
 		e.rx[mkey] = m
 	}
 	if _, have := m.frags[d.frag]; have {

@@ -65,6 +65,11 @@ const stripeHeaderLen = gtmHeaderLen + 28
 // gateway; the receiver ORs it over rails for Unpacking.Forwarded.
 const stripeFlagForwarded = 1 << 0
 
+// stripeFlagAgg marks a rail of a striped aggregate frame (package agg):
+// after reassembly the receiver decodes the frame into its coalesced
+// sub-messages instead of delivering the striped message as-is.
+const stripeFlagAgg = 1 << 1
+
 // stripeMaxRails bounds Config.StripeK: the rail id travels as one byte.
 const stripeMaxRails = 255
 
@@ -221,6 +226,9 @@ type stripeGroup struct {
 	total int64
 	rails []*stripeRail
 	seen  [stripeMaxRails + 1]bool
+	// agg is set when any rail carries stripeFlagAgg: the reassembled
+	// bytes are an aggregate frame to be decoded, not an app message.
+	agg bool
 }
 
 // stripeRail is one opened rail of a group: its link (receive side held
@@ -427,6 +435,9 @@ type stripePacking struct {
 	id     uint64
 	blocks []relBlock
 	total  int64
+	// aggFlag stamps stripeFlagAgg on every rail header: the message body
+	// is an aggregate frame the receiver must decode after reassembly.
+	aggFlag bool
 }
 
 func newStripePacking(vc *VirtualChannel, node *mad.Node, dst string) *stripePacking {
@@ -554,6 +565,9 @@ func (sx *stripePacking) sendRail(p *vtime.Proc, r route.Route, rail, nrails int
 	var flags uint16
 	if !r.Direct() {
 		flags |= stripeFlagForwarded
+	}
+	if sx.aggFlag {
+		flags |= stripeFlagAgg
 	}
 	// Rails that relay through a gateway spend credits like any other
 	// sender; direct rails answer to nobody (no-op with flow control off
@@ -823,6 +837,9 @@ func (vc *VirtualChannel) openStripeRail(p *vtime.Proc, node *mad.Node, a *mad.A
 		panic(fmt.Sprintf("fwd: rail %d disagrees on message size (%d != %d)", h.rail, h.total, g.total))
 	}
 	g.seen[h.rail] = true
+	if h.flags&stripeFlagAgg != 0 {
+		g.agg = true
+	}
 	g.rails = append(g.rails, &stripeRail{link: link, hdr: h})
 	if len(g.rails) == h.nrails {
 		delete(st.groups, key)

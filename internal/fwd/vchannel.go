@@ -93,6 +93,22 @@ type Config struct {
 	// CreditWindow overrides the per-(gateway, sender) credit window
 	// (DefaultCreditWindow when 0). Requires FlowControl.
 	CreditWindow int
+	// Eager switches forwarded streaming messages to the compact GTM
+	// framing (eager.go): the self-description header piggybacks on the
+	// first data fragment and the terminator collapses into the last
+	// fragment's EOM flag, so a small message crosses each wire once
+	// instead of three times. Streaming only — the reliable protocol has
+	// its own packet framing.
+	Eager bool
+	// Aggregation arms the cross-message coalescer (agg.go): consecutive
+	// sub-MTU messages toward the same forwarded destination are packed
+	// into one MTU-sized aggregate frame and flushed as a single wire
+	// transfer (and a single flow-control credit). Direct (one-network)
+	// traffic is never aggregated.
+	Aggregation bool
+	// AggIdleFlush overrides the coalescer's idle deadline
+	// (DefaultAggIdleFlush when 0). Requires Aggregation.
+	AggIdleFlush vtime.Duration
 }
 
 // DefaultConfig returns the paper's forwarding configuration with a 32 KB
@@ -133,6 +149,12 @@ func (c Config) validate() error {
 	}
 	if c.CreditWindow > 0 && !c.FlowControl {
 		return fmt.Errorf("fwd: CreditWindow requires FlowControl")
+	}
+	if c.AggIdleFlush < 0 {
+		return fmt.Errorf("fwd: negative AggIdleFlush")
+	}
+	if c.AggIdleFlush > 0 && !c.Aggregation {
+		return fmt.Errorf("fwd: AggIdleFlush requires Aggregation")
 	}
 	return nil
 }
@@ -196,6 +218,10 @@ type VirtualChannel struct {
 	// flowc is the credit-based flow controller; nil unless
 	// Config.FlowControl is set (see flowctl.go).
 	flowc *flowCtl
+
+	// aggst is the cross-message aggregation state (see agg.go); nil
+	// unless Config.Aggregation is set.
+	aggst *aggState
 }
 
 // netMTU returns the packet-size cap of one network under the PathMTU
@@ -335,6 +361,9 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 	}
 	if cfg.FlowControl {
 		vc.flowc = newFlowCtl(vc, cfg.CreditWindow)
+	}
+	if cfg.Aggregation {
+		vc.aggst = newAggState()
 	}
 	for _, n := range buildTopo.Nodes() {
 		vc.nodes[n.Name] = sess.AddNode(n.Name)
@@ -528,6 +557,8 @@ func (e *Endpoint) Node() *mad.Node { return e.node }
 type Packing struct {
 	plain  *mad.Packing
 	gtm    *gtmPacking
+	eager  *eagerPacking
+	agg    *aggPacking
 	rel    *relPacking
 	stripe *stripePacking
 	id     uint64
@@ -545,6 +576,16 @@ func (px *Packing) MsgID() uint64 { return px.id }
 func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
 	if dst == e.node.Name {
 		panic("fwd: message to self on " + dst)
+	}
+	// Aggregation: every message toward a forwarded (multi-network)
+	// destination is offered to the coalescer; messages that turn out too
+	// large bypass (or spill back to the streaming path) from there.
+	if e.vc.cfg.Aggregation {
+		if r, ok := e.vc.tbl.Lookup(e.node.Name, dst); ok && !r.Direct() {
+			ax := newAggPacking(e.vc, e.node, dst)
+			e.vc.metrics().RecordHop(ax.id, p.Now(), e.node.Name, "pack", "agg -> "+dst, 0)
+			return &Packing{agg: ax, id: ax.id}
+		}
 	}
 	if e.vc.cfg.Reliable {
 		// Reliable datagram mode: every message, direct or forwarded,
@@ -583,6 +624,12 @@ func (e *Endpoint) BeginPacking(p *vtime.Proc, dst string) *Packing {
 		panic("fwd: route crosses network without a special channel: " + hop.Network)
 	}
 	link := spc.Link(e.node.Rank, e.vc.NodeRank(hop.To))
+	if e.vc.cfg.Eager {
+		g := newEagerPacking(p, e.vc, e.node, link, e.vc.NodeRank(dst), e.vc.nextMsgID())
+		e.vc.metrics().RecordHop(g.id, p.Now(), e.node.Name, "pack",
+			fmt.Sprintf("eager -> %s via %s", dst, hop.Network), 0)
+		return &Packing{eager: g, id: g.id}
+	}
 	g := newGTMPacking(p, e.vc, e.node, link, e.vc.NodeRank(dst), e.vc.nextMsgID())
 	e.vc.metrics().RecordHop(g.id, p.Now(), e.node.Name, "pack",
 		fmt.Sprintf("gtm -> %s via %s", dst, hop.Network), 0)
@@ -598,12 +645,20 @@ func (px *Packing) Pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMo
 		px.plain.Pack(p, data, s, r)
 		return
 	}
+	if px.agg != nil {
+		px.agg.pack(p, data, s, r)
+		return
+	}
 	if px.rel != nil {
 		px.rel.pack(p, data, s, r)
 		return
 	}
 	if px.stripe != nil {
 		px.stripe.pack(p, data, s, r)
+		return
+	}
+	if px.eager != nil {
+		px.eager.pack(p, data, s, r)
 		return
 	}
 	px.gtm.pack(p, data, s, r)
@@ -619,12 +674,20 @@ func (px *Packing) EndPacking(p *vtime.Proc) {
 		px.plain.EndPacking(p)
 		return
 	}
+	if px.agg != nil {
+		px.agg.end(p)
+		return
+	}
 	if px.rel != nil {
 		px.rel.end(p)
 		return
 	}
 	if px.stripe != nil {
 		px.stripe.end(p)
+		return
+	}
+	if px.eager != nil {
+		px.eager.end(p)
 		return
 	}
 	px.gtm.end(p)
@@ -634,6 +697,8 @@ func (px *Packing) EndPacking(p *vtime.Proc) {
 type Unpacking struct {
 	plain  *mad.Unpacking
 	gtm    *gtmUnpacking
+	eager  *eagerUnpacking
+	agg    *aggUnpacking
 	rel    *relUnpacking
 	stripe *stripeUnpacking
 	from   mad.Rank
@@ -649,11 +714,20 @@ type Unpacking struct {
 func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
 	p.Sleep(e.node.Host.CPU.PollCost)
 	for {
+		// Sub-messages decoded from an earlier aggregate frame are
+		// delivered FIFO before anything newer.
+		if as, ok := e.vc.aggPop(e.node.Rank); ok {
+			return &Unpacking{agg: newAggUnpacking(e.vc, e.node, as), from: as.from, fwd: true}
+		}
 		// A striped message completed by an earlier arrival round is
 		// delivered before pulling new announcements.
 		if st := e.stripeRx(); st != nil && len(st.ready) > 0 {
 			g := st.ready[0]
 			st.ready = st.ready[1:]
+			if g.agg {
+				e.vc.aggDecodeStriped(p, e.node, g)
+				continue
+			}
 			su := newStripeUnpacking(e.vc, e.node, g)
 			return &Unpacking{stripe: su, from: su.from(), fwd: su.forwarded()}
 		}
@@ -662,6 +736,10 @@ func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
 			panic("fwd: merged arrival queue closed")
 		}
 		if in.rel != nil {
+			if in.rel.agg {
+				e.vc.aggDecodeReliable(p, e.node, in.rel)
+				continue
+			}
 			ru := newRelUnpacking(e.vc.rel[e.node.Name], in.rel)
 			srcName := e.vc.sess.Node(in.rel.origin).Name
 			fwd := len(e.vc.tp.SharedNetworks(srcName, e.node.Name)) == 0
@@ -671,10 +749,24 @@ func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
 			// One rail of a striped message: file it and keep pulling
 			// until some message (striped or not) is complete.
 			if g := e.vc.openStripeRail(p, e.node, in.a); g != nil {
+				if g.agg {
+					e.vc.aggDecodeStriped(p, e.node, g)
+					continue
+				}
 				su := newStripeUnpacking(e.vc, e.node, g)
 				return &Unpacking{stripe: su, from: su.from(), fwd: su.forwarded()}
 			}
 			continue
+		}
+		if in.a.Kind() == mad.KindAgg {
+			// A whole aggregate frame in one compact transfer: decode,
+			// queue its sub-messages, deliver the first on the next spin.
+			e.vc.openAggFrame(p, e.node, in.a)
+			continue
+		}
+		if in.a.Kind() == mad.KindEager {
+			g := newEagerUnpacking(p, e.vc, e.node, in.a)
+			return &Unpacking{eager: g, from: g.from, fwd: true}
 		}
 		if in.a.Kind() == mad.KindGTM {
 			g := newGTMUnpacking(p, e.vc, e.node, in.a)
@@ -710,12 +802,20 @@ func (u *Unpacking) Unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.Recv
 		u.plain.Unpack(p, dst, s, r)
 		return
 	}
+	if u.agg != nil {
+		u.agg.unpack(p, dst, s, r)
+		return
+	}
 	if u.rel != nil {
 		u.rel.unpack(p, dst, s, r)
 		return
 	}
 	if u.stripe != nil {
 		u.stripe.unpack(p, dst, s, r)
+		return
+	}
+	if u.eager != nil {
+		u.eager.unpack(p, dst, s, r)
 		return
 	}
 	u.gtm.unpack(p, dst, s, r)
@@ -731,12 +831,20 @@ func (u *Unpacking) EndUnpacking(p *vtime.Proc) {
 		u.plain.EndUnpacking(p)
 		return
 	}
+	if u.agg != nil {
+		u.agg.end(p)
+		return
+	}
 	if u.rel != nil {
 		u.rel.end(p)
 		return
 	}
 	if u.stripe != nil {
 		u.stripe.end(p)
+		return
+	}
+	if u.eager != nil {
+		u.eager.end(p)
 		return
 	}
 	u.gtm.end(p)

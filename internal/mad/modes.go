@@ -111,6 +111,16 @@ const (
 	// prober can judge the link's liveness and round-trip without any
 	// reliability machinery underneath.
 	KindHealth
+	// KindEager is a compact GTM message: the self-description header
+	// piggybacks on the first data fragment and the terminator flag rides
+	// on the last fragment's metadata, so a small message costs one wire
+	// transfer instead of three (header, fragment, empty terminator).
+	KindEager
+	// KindAgg is an aggregate frame: several sub-MTU messages coalesced
+	// into one length-prefixed, CRC-checked frame (package agg), relayed
+	// by gateways like any compact GTM message and unpacked back into
+	// individual messages at the final destination.
+	KindAgg
 )
 
 func (k Kind) String() string {
@@ -129,6 +139,10 @@ func (k Kind) String() string {
 		return "stripe"
 	case KindHealth:
 		return "health"
+	case KindEager:
+		return "eager"
+	case KindAgg:
+		return "agg"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -62,6 +62,19 @@ var CanonicalMetricNames = []string{
 	"madgo_flow_sched_rounds_total",
 	"madgo_flow_backpressure_total",
 
+	// Eager small-message aggregation (internal/fwd/agg.go). Frames
+	// labelled {node, reason: size|idle|ordering}; the wait histogram is the
+	// per-sub-message time between coalescer enqueue and flush.
+	"madgo_agg_submessages_total",
+	"madgo_agg_frames_total",
+	"madgo_agg_frame_bytes_total",
+	"madgo_agg_bypass_total",
+	"madgo_agg_queue_wait_seconds",
+
+	// Per-message delivery latency observed by traffic drivers
+	// (cmd/madload -small), labelled {sink}.
+	"madgo_message_latency_seconds",
+
 	// Multi-rail striping (internal/fwd/stripe.go).
 	"madgo_stripe_messages_total",
 	"madgo_stripe_rebalance_total",

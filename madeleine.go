@@ -119,6 +119,10 @@ type (
 	// FlowAccountStats is the per-(gateway, sender) credit-account
 	// breakdown behind FlowStats.
 	FlowAccountStats = fwd.FlowAccountStats
+	// AggStats aggregates the small-message coalescing counters
+	// (sub-messages coalesced, frames flushed by trigger, bypasses)
+	// attached with WithAggregation.
+	AggStats = fwd.AggStats
 	// Metrics is a virtual-time-aware metrics registry: counters, gauges,
 	// latency histograms and per-message provenance traces, attached with
 	// WithMetrics.
@@ -191,6 +195,7 @@ const (
 	StageRexmit     = flight.StageRexmit
 	StageReassembly = flight.StageReassembly
 	StageAckWait    = flight.StageAckWait
+	StageAggWait    = flight.StageAggWait
 )
 
 // Diagnosis finding codes, the pathologies Diagnose recognizes.
@@ -319,6 +324,20 @@ type Options struct {
 	// CreditWindow overrides the per-(gateway, sender) credit window
 	// (default fwd.DefaultCreditWindow). Non-zero implies FlowControl.
 	CreditWindow int
+	// Eager switches small messages to the compact GTM framing: the
+	// self-description header piggybacks on the first data fragment and
+	// the terminator on the last fragment's metadata, so a sub-MTU
+	// message crosses each hop in one wire transfer instead of three.
+	Eager bool
+	// Aggregation arms the cross-message coalescer: consecutive sub-MTU
+	// messages bound for the same destination are packed into one
+	// MTU-sized aggregate frame that crosses the wire — and spends flow
+	// credit — as a single transfer.
+	Aggregation bool
+	// AggIdleFlush is the coalescer's idle deadline; a partially filled
+	// frame is flushed once no new message has joined it for this long
+	// (0 = fwd.DefaultAggIdleFlush). Non-zero implies Aggregation.
+	AggIdleFlush Duration
 	// DisableFlight turns the always-on flight recorder off. The recorder
 	// costs well under 5% of goodput (a bounded ring write per event, no
 	// allocation), so leaving it on is the default even for benchmarks.
@@ -464,6 +483,35 @@ func WithCreditWindow(n int) Option {
 	}
 }
 
+// WithEagerSmallMessages switches to the compact GTM framing that attacks
+// the fixed per-wire-transfer software overhead of §3.4.1: the
+// self-description header piggybacks on the first data fragment and the
+// terminator collapses into the last fragment's metadata, so a message that
+// fits one fragment crosses each hop in ONE wire transfer instead of three.
+// Gateways relay the compact frames obliviously; flow control charges the
+// true transfer count.
+func WithEagerSmallMessages() Option { return func(o *Options) { o.Eager = true } }
+
+// WithAggregation arms the cross-message coalescer on top of the compact
+// framing: consecutive sub-MTU messages from one node to one destination
+// are packed into a single MTU-sized aggregate frame — one wire transfer,
+// one flow credit, one ARQ sequence in reliable mode — and decoalesced at
+// the sink in sender order. Frames flush when full, when a larger message
+// must not overtake the queue, or after the idle deadline (see
+// WithAggIdleFlush). Query the counters with System.AggStats.
+func WithAggregation() Option { return func(o *Options) { o.Aggregation = true } }
+
+// WithAggIdleFlush sets the coalescer's idle deadline — the longest a
+// partially filled aggregate frame waits for company before it is flushed
+// (default fwd.DefaultAggIdleFlush) — and implies WithAggregation. It is
+// the latency bound a lone small message pays for the batching.
+func WithAggIdleFlush(d Duration) Option {
+	return func(o *Options) {
+		o.Aggregation = true
+		o.AggIdleFlush = d
+	}
+}
+
 // WithReliableDelivery switches the virtual channel from the paper's
 // streaming forwarding to reliable datagram delivery: every packet is
 // checksummed and acknowledged hop by hop, lost or corrupted packets are
@@ -570,6 +618,10 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 
 		FlowControl:  o.FlowControl || o.CreditWindow > 0,
 		CreditWindow: o.CreditWindow,
+
+		Eager:        o.Eager,
+		Aggregation:  o.Aggregation || o.AggIdleFlush > 0,
+		AggIdleFlush: o.AggIdleFlush,
 	}
 	if reliable {
 		if o.Retry != nil {
@@ -678,6 +730,10 @@ func (s *System) FlowStats() FlowStats { return s.Channel.FlowStats() }
 // FlowAccounts returns the per-(gateway, sender) credit-account counters in
 // account creation order. Empty without WithFlowControl.
 func (s *System) FlowAccounts() []FlowAccountStats { return s.Channel.FlowAccounts() }
+
+// AggStats returns the small-message coalescing counters. All fields are
+// zero without WithAggregation.
+func (s *System) AggStats() AggStats { return s.Channel.AggStats() }
 
 // Health returns the link-health failure detector, or nil when the system
 // was built without WithHealthMonitor. Snapshot lists per-link condition,
