@@ -5,13 +5,16 @@ FUZZTIME ?= 30s
 # package:target pairs; go test accepts one -fuzz pattern per invocation.
 FUZZ_TARGETS = \
 	internal/fwd:FuzzGTMHeader internal/fwd:FuzzStripeHeader \
-	internal/fwd:FuzzGTMCompactHeader \
+	internal/fwd:FuzzGTMCompactHeader internal/fwd:FuzzMcastHeader \
 	internal/fwd:FuzzRelData internal/fwd:FuzzRelAck internal/fwd:FuzzRelDesc \
 	internal/health:FuzzHealthProbe internal/flow:FuzzFlowCredit \
 	internal/agg:FuzzAggFrame
 
-.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate o2-gate c1-gate m1-gate soak
+.PHONY: check build vet test race bench cover fuzz stripe-gate r2-gate o2-gate c1-gate m1-gate b1-gate soak
 
+# check includes the facade API-surface golden test (api_test.go vs
+# api.txt) via the race lane; regen the listing after an intentional API
+# change with: MADGO_REGEN_API=1 $(GO) test -run TestAPISurfaceGolden .
 check: build vet race cover
 
 build:
@@ -35,6 +38,7 @@ bench:
 	$(GO) run ./cmd/madbench -json o2 > BENCH_o2.json
 	$(GO) run ./cmd/madbench -json c1 > BENCH_c1.json
 	$(GO) run ./cmd/madbench -json m1 > BENCH_m1.json
+	$(GO) run ./cmd/madbench -json b1 > BENCH_b1.json
 
 # stripe-gate archives the striping sweep and fails unless K=2 goodput on
 # the dual-rail topology is >= 1.5x the K=1 baseline at 64-128 KB. The
@@ -83,6 +87,16 @@ m1-gate:
 	$(GO) run ./cmd/madbench -json m1 > BENCH_m1.json
 	$(GO) test ./internal/bench -run '^TestM1EagerGate$$' -v
 	$(GO) test ./internal/agg -run 'AllocsNothing' -v
+
+# b1-gate archives the broadcast fan-out comparison and fails unless
+# gateway-native multicast delivers >= 2x the unicast fan-out's aggregate
+# goodput at 8+ receivers on the 2-gateway chain, every receiver's payload
+# is byte-identical, and the first gateway's ingress byte count is
+# independent of the receiver count. Deterministic, so the gate test reruns
+# the exact streams the JSON archive came from.
+b1-gate:
+	$(GO) run ./cmd/madbench -json b1 > BENCH_b1.json
+	$(GO) test ./internal/bench -run '^TestB1McastGate$$' -v
 
 # soak runs the chaos property tests — random link flaps under load with
 # byte-identical payload, epoch-convergence and rail-readmission
@@ -133,4 +147,9 @@ cover:
 	@$(GO) tool cover -func=cover_agg.out | awk -v min=$(COVER_MIN) \
 		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
 		   printf "agg coverage: %s%% (gate: %s%%)\n", cov, min; \
+		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'
+	$(GO) test -coverprofile=cover_coll.out ./internal/coll
+	@$(GO) tool cover -func=cover_coll.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { cov = $$3; sub(/%/, "", cov); \
+		   printf "coll coverage: %s%% (gate: %s%%)\n", cov, min; \
 		   if (cov + 0 < min) { print "coverage below gate"; exit 1 } }'

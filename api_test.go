@@ -1,0 +1,142 @@
+package madeleine_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// apiSurface renders the exported surface of package madeleine as one
+// sorted line per declaration: funcs and methods with full signatures,
+// types with their exported fields, consts and vars. The rendering is
+// purely syntactic (no type checking), so it is stable across runs and
+// cheap enough for tier 1.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs["madeleine"]
+	if pkg == nil {
+		t.Fatalf("package madeleine not found in .")
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				sig := strings.TrimPrefix(types.ExprString(d.Type), "func")
+				if d.Recv != nil {
+					recv := types.ExprString(d.Recv.List[0].Type)
+					if !ast.IsExported(strings.TrimPrefix(recv, "*")) {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, sig))
+				} else {
+					lines = append(lines, "func "+d.Name.Name+sig)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						if st, ok := s.Type.(*ast.StructType); ok {
+							lines = append(lines, "type "+s.Name.Name+" struct")
+							for _, fl := range st.Fields.List {
+								ft := types.ExprString(fl.Type)
+								if len(fl.Names) == 0 { // embedded
+									if ast.IsExported(strings.TrimPrefix(ft, "*")) {
+										lines = append(lines, fmt.Sprintf("  %s.%s (embedded)", s.Name.Name, ft))
+									}
+									continue
+								}
+								for _, n := range fl.Names {
+									if n.IsExported() {
+										lines = append(lines, fmt.Sprintf("  %s.%s %s", s.Name.Name, n.Name, ft))
+									}
+								}
+							}
+							continue
+						}
+						eq := " "
+						if s.Assign != token.NoPos {
+							eq = " = "
+						}
+						lines = append(lines, "type "+s.Name.Name+eq+types.ExprString(s.Type))
+					case *ast.ValueSpec:
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								lines = append(lines, kw+" "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestAPISurfaceGolden pins the exported madeleine API to the checked-in
+// api.txt, so an accidental signature change, removal, or stray export
+// fails CI with a readable diff. Intentional changes regenerate the file:
+//
+//	MADGO_REGEN_API=1 go test -run TestAPISurfaceGolden .
+func TestAPISurfaceGolden(t *testing.T) {
+	got := apiSurface(t)
+	if os.Getenv("MADGO_REGEN_API") != "" {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated api.txt (%d lines)", strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("api.txt unreadable (regen with MADGO_REGEN_API=1 go test -run TestAPISurfaceGolden .): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotL := strings.Split(got, "\n")
+	wantL := strings.Split(string(want), "\n")
+	gotSet := make(map[string]bool, len(gotL))
+	for _, l := range gotL {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantL))
+	for _, l := range wantL {
+		wantSet[l] = true
+	}
+	for _, l := range wantL {
+		if !gotSet[l] {
+			t.Errorf("api.txt line vanished from the exported surface: %q", l)
+		}
+	}
+	for _, l := range gotL {
+		if !wantSet[l] {
+			t.Errorf("exported surface gained a line missing from api.txt: %q", l)
+		}
+	}
+	t.Error("exported API surface drifted from api.txt; if intentional, regen with MADGO_REGEN_API=1 go test -run TestAPISurfaceGolden .")
+}

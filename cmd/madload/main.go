@@ -73,10 +73,9 @@ func main() {
 		opts = append(opts, madeleine.WithAggregation())
 	}
 	if *flowOn || *window > 0 {
+		opts = append(opts, madeleine.WithFlowControl())
 		if *window > 0 {
 			opts = append(opts, madeleine.WithCreditWindow(*window))
-		} else {
-			opts = append(opts, madeleine.WithFlowControl())
 		}
 	}
 

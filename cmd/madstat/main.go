@@ -73,10 +73,11 @@ func main() {
 	if *healthOn {
 		opts = append(opts, madeleine.WithHealthMonitor())
 	}
-	if *window > 0 {
-		opts = append(opts, madeleine.WithCreditWindow(*window))
-	} else if *flowOn {
+	if *flowOn || *window > 0 {
 		opts = append(opts, madeleine.WithFlowControl())
+		if *window > 0 {
+			opts = append(opts, madeleine.WithCreditWindow(*window))
+		}
 	}
 	if *loss > 0 || *corrupt > 0 || *crash > 0 || *flapNet != "" {
 		plan := madeleine.NewFaultPlan(*seed)
@@ -248,8 +249,8 @@ func main() {
 }
 
 // emitJSON prints the run's full observability state as one document:
-// every metric series, the striping and health panels, the critical-path
-// diagnosis, and any automatic flight dumps.
+// every metric series, the unified per-subsystem stats snapshot, the health
+// panel, the critical-path diagnosis, and any automatic flight dumps.
 func emitJSON(sys *madeleine.System, m *madeleine.Metrics) {
 	type linkDoc struct {
 		From    string  `json:"from"`
@@ -265,18 +266,18 @@ func emitJSON(sys *madeleine.System, m *madeleine.Metrics) {
 		Readmissions int64     `json:"readmissions"`
 		Links        []linkDoc `json:"links"`
 	}
+	st := sys.Stats()
 	out := struct {
 		Metrics   []madeleine.MetricSample     `json:"metrics"`
-		Delivery  madeleine.DeliveryStats      `json:"delivery"`
-		Stripe    *madeleine.StripeStats       `json:"stripe,omitempty"`
-		Flow      *madeleine.FlowStats         `json:"flow,omitempty"`
+		Stats     madeleine.Stats              `json:"stats"`
 		Accounts  []madeleine.FlowAccountStats `json:"flow_accounts,omitempty"`
 		Health    *healthDoc                   `json:"health,omitempty"`
 		Diagnosis madeleine.Diagnosis          `json:"diagnosis"`
 		Dumps     []madeleine.FlightDump       `json:"flight_dumps,omitempty"`
 	}{
 		Metrics:   m.Samples(),
-		Delivery:  sys.DeliveryStats(),
+		Stats:     st,
+		Accounts:  sys.FlowAccounts(),
 		Diagnosis: sys.Diagnose(),
 		Dumps:     sys.Flight().Dumps(),
 	}
@@ -285,13 +286,6 @@ func emitJSON(sys *madeleine.System, m *madeleine.Metrics) {
 	}
 	if out.Diagnosis.Findings == nil {
 		out.Diagnosis.Findings = []madeleine.Finding{}
-	}
-	if st := sys.StripeStats(); st.Messages > 0 {
-		out.Stripe = &st
-	}
-	if fs := sys.FlowStats(); fs.Accounts > 0 || fs.SchedRounds > 0 {
-		out.Flow = &fs
-		out.Accounts = sys.FlowAccounts()
 	}
 	if h := sys.Health(); h != nil {
 		hd := &healthDoc{Epoch: h.Epoch(), Probes: h.Probes(), Readmissions: h.Readmissions()}

@@ -17,7 +17,7 @@ import (
 func main() {
 	sys, err := madeleine.NewSystemFromTopology(madeleine.PaperTestbed(),
 		madeleine.WithRouteNetworks("sci0", "myri0"), // the Ethernet is a control network
-		madeleine.WithMTU(32*1024),
+		madeleine.WithPaperFidelity(),                // 32 KB packets, depth-2 pipelines, seed framing
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -5,7 +5,10 @@
 // checksum and is acknowledged hop by hop, losses are retransmitted with
 // exponential backoff, and when gw1 dies mid-transfer traffic fails over to
 // gw2. The application code below is identical to the fault-free examples;
-// the recovery is invisible except in the statistics.
+// the recovery is invisible except in the statistics. The system is built
+// with the WithProduction preset — the "everything on" profile (eager
+// framing, aggregation, flow control, striping, reliable delivery, health
+// monitoring) — which the scripted faults compose with.
 //
 // Run with: go run ./examples/faulttolerance
 package main
@@ -32,7 +35,7 @@ func main() {
 		fault seed 7
 		fault drop * 0.02
 		fault crash gw1 30ms
-	`, madeleine.WithTracer(tr))
+	`, madeleine.WithProduction(), madeleine.WithTracer(tr))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 var quick = Options{Quick: true}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "o2", "c1", "o1", "p1", "r2", "r1", "m1", "s1"}
+	want := []string{"b1", "t1", "fig6", "fig7", "t2", "t3", "fig5", "fig8", "headline", "a1", "a2", "a3", "a4", "a6", "a7", "a5", "o2", "c1", "o1", "p1", "r2", "r1", "m1", "s1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry = %v", ids)

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestB1McastGate is the CI gate for gateway-native multicast, and the
+// tentpole's acceptance criteria verbatim: broadcast goodput must reach at
+// least 2x the unicast fan-out at 8+ receivers on the 2-gateway chain,
+// every receiver must get a byte-identical payload (runB1Stream panics
+// otherwise), and the first gateway's ingress byte count must not depend on
+// how many receivers sit behind it. The BENCH_b1.json archive `make bench`
+// / `make b1-gate` produce comes from the identical deterministic run, so
+// gating the numbers gates the archive.
+func TestB1McastGate(t *testing.T) {
+	for _, size := range b1Sizes {
+		count := b1Count(size, false)
+		var first int64 = -1
+		for _, n := range b1Fanouts {
+			mc := runB1Stream(true, size, count, n)
+			if first < 0 {
+				first = mc.Ingress
+			} else if mc.Ingress != first {
+				t.Errorf("%dB x %d receivers: gw1 ingress %d bytes, want %d regardless of fan-out",
+					size, n, mc.Ingress, first)
+			}
+			if n < 8 {
+				continue
+			}
+			uc := runB1Stream(false, size, count, n)
+			if mc.MBps < 2.0*uc.MBps {
+				t.Errorf("%dB x %d receivers: multicast %.2f MB/s is %.2fx unicast's %.2f MB/s, gate is 2x",
+					size, n, mc.MBps, mc.MBps/uc.MBps, uc.MBps)
+			}
+		}
+	}
+}
+
+// TestB1Experiment smoke-runs the registered experiment at quick settings
+// and requires a WARNING-free result.
+func TestB1Experiment(t *testing.T) {
+	r := mustRun(t, "b1", quick)
+	for _, note := range r.Notes {
+		if strings.HasPrefix(note, "WARNING") {
+			t.Errorf("b1 flagged: %s", note)
+		}
+	}
+	if len(r.Table) != len(b1Sizes)*len(b1Fanouts) {
+		t.Errorf("b1 table has %d rows, want %d", len(r.Table), len(b1Sizes)*len(b1Fanouts))
+	}
+}

@@ -334,10 +334,12 @@ func TestMadstatFlowPanel(t *testing.T) {
 	}
 	raw := run(t, "madstat", "-flow", "-json", "-count", "2", "-bytes", "65536")
 	var doc struct {
-		Flow *struct {
-			CreditsGranted int64 `json:"CreditsGranted"`
-			CreditsSpent   int64 `json:"CreditsSpent"`
-		} `json:"flow"`
+		Stats struct {
+			Flow struct {
+				CreditsGranted int64 `json:"CreditsGranted"`
+				CreditsSpent   int64 `json:"CreditsSpent"`
+			} `json:"flow"`
+		} `json:"stats"`
 		Accounts []struct {
 			Gateway string `json:"Gateway"`
 			Sender  string `json:"Sender"`
@@ -346,8 +348,8 @@ func TestMadstatFlowPanel(t *testing.T) {
 	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
 		t.Fatalf("madstat -flow -json: %v", err)
 	}
-	if doc.Flow == nil || doc.Flow.CreditsGranted == 0 || doc.Flow.CreditsGranted != doc.Flow.CreditsSpent {
-		t.Errorf("flow doc: %+v", doc.Flow)
+	if doc.Stats.Flow.CreditsGranted == 0 || doc.Stats.Flow.CreditsGranted != doc.Stats.Flow.CreditsSpent {
+		t.Errorf("flow doc: %+v", doc.Stats.Flow)
 	}
 	if len(doc.Accounts) == 0 || doc.Accounts[0].Gateway != "gw" {
 		t.Errorf("accounts doc: %+v", doc.Accounts)

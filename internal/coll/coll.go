@@ -1,6 +1,6 @@
 // Package coll implements classic collective operations — barrier,
 // broadcast, reduce, allreduce, gather — on top of the forwarding virtual
-// channel, as binomial trees over node names.
+// channel.
 //
 // The point of the package is the paper's transparency claim: the
 // collectives are written exactly as they would be for a flat cluster —
@@ -9,6 +9,14 @@
 // pipeline as the topology demands ("On top of Madeleine, high-level
 // traditional routing mechanisms can easily and efficiently be
 // implemented").
+//
+// Fan-out halves (broadcast, the barrier release) use the channel's
+// gateway-native multicast when available: the root issues one
+// BeginMulticast and the distribution tree's gateways replicate each
+// fragment in the network, so the payload crosses each inter-cluster link
+// once no matter how many members sit behind it. In reliable mode — where
+// multicast is unavailable — the same operations fall back to binomial
+// trees over point-to-point sends, byte-identical in result.
 package coll
 
 import (
@@ -70,6 +78,30 @@ func (c *Comm) send(p *vtime.Proc, to int, tag byte, data []byte) {
 	px.EndPacking(p)
 }
 
+// mcastSend transmits one tagged block to every member of to at once via
+// the channel's gateway-native multicast, with the exact block structure of
+// send so the receivers' recv is oblivious to how the message travelled.
+func (c *Comm) mcastSend(p *vtime.Proc, to []string, tag byte, data []byte) {
+	px := c.vc.At(c.members[c.me]).BeginMulticast(p, to...)
+	px.Pack(p, []byte{tag}, mad.SendCheaper, mad.ReceiveExpress)
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(data)))
+	px.Pack(p, hdr, mad.SendCheaper, mad.ReceiveExpress)
+	px.Pack(p, data, mad.SendCheaper, mad.ReceiveCheaper)
+	px.EndPacking(p)
+}
+
+// others returns every member name except the caller's.
+func (c *Comm) others() []string {
+	out := make([]string, 0, len(c.members)-1)
+	for i, m := range c.members {
+		if i != c.me {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // recv blocks for one message and returns its payload; the tag is checked
 // against want.
 func (c *Comm) recv(p *vtime.Proc, want byte) []byte {
@@ -95,12 +127,17 @@ const (
 	tagGather
 )
 
-// Barrier blocks until every member has entered it (flat gather to rank 0
-// plus broadcast of the release).
+// Barrier blocks until every member has entered it: a flat gather to rank 0
+// followed by the release — one multicast when the channel supports it, a
+// per-member send otherwise.
 func (c *Comm) Barrier(p *vtime.Proc) {
 	if c.me == 0 {
 		for i := 1; i < len(c.members); i++ {
 			c.recv(p, tagBarrier)
+		}
+		if c.vc.CanMulticast() {
+			c.mcastSend(p, c.others(), tagBarrier, nil)
+			return
 		}
 		for i := 1; i < len(c.members); i++ {
 			c.send(p, i, tagBarrier, nil)
@@ -111,13 +148,27 @@ func (c *Comm) Barrier(p *vtime.Proc) {
 	c.recv(p, tagBarrier)
 }
 
-// Broadcast distributes root's buffer to every member along a binomial
-// tree rooted at root; every member passes a buffer of the same length and
-// returns with it filled.
+// Broadcast distributes root's buffer to every member; every member passes
+// a buffer of the same length and returns with it filled. On a multicast-
+// capable channel the root sends once and the network's distribution tree
+// replicates; in reliable mode the members relay along a binomial tree
+// rooted at root.
 func (c *Comm) Broadcast(p *vtime.Proc, root int, data []byte) {
 	n := len(c.members)
 	if root < 0 || root >= n {
 		panic("coll: broadcast root out of range")
+	}
+	if c.vc.CanMulticast() {
+		if c.me == root {
+			c.mcastSend(p, c.others(), tagBcast, data)
+			return
+		}
+		got := c.recv(p, tagBcast)
+		if len(got) != len(data) {
+			panic(fmt.Sprintf("coll: broadcast buffers disagree (%d vs %d bytes)", len(got), len(data)))
+		}
+		copy(data, got)
+		return
 	}
 	// Rotate so the root is virtual rank 0.
 	vrank := (c.me - root + n) % n

@@ -55,13 +55,14 @@ const (
 	KindWire                   // a link-level send as timed by the mad layer
 	KindAggFlush               // an aggregate frame flushed by the coalescer
 	KindAggWait                // time a sub-message waited in a coalescer before its flush
+	KindReplicate              // a multicast branch send (root fan-out or gateway replication)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"send", "recv", "swap", "stall", "rexmit", "backoff", "pack",
 	"queue-wait", "ack-wait", "reassembly", "probe", "epoch", "wire",
-	"agg-flush", "agg-wait",
+	"agg-flush", "agg-wait", "replicate",
 }
 
 func (k Kind) String() string {

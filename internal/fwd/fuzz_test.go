@@ -105,6 +105,46 @@ func FuzzStripeHeader(f *testing.F) {
 	})
 }
 
+// FuzzMcastHeader covers the multicast destination-set header. Acceptance
+// is strict: canonical (strictly increasing) destination lists only, a
+// bounded count, a usable MTU and a matching CRC — a corrupted set silently
+// mis-replicates, so every accepted input must re-encode byte for byte and
+// every single-byte corruption must be rejected.
+func FuzzMcastHeader(f *testing.F) {
+	for _, seed := range mcastHeaderSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, mtu, id, dests, ok := decodeMcastHeader(data)
+		if !ok {
+			return
+		}
+		if mtu <= 0 {
+			t.Fatalf("accepted header with unusable mtu %d", mtu)
+		}
+		if len(dests) < 1 || len(dests) > mcastMaxDests {
+			t.Fatalf("accepted header with illegal destination count %d", len(dests))
+		}
+		for i := 1; i < len(dests); i++ {
+			if dests[i] <= dests[i-1] {
+				t.Fatalf("accepted non-canonical destination set %v", dests)
+			}
+		}
+		if re := encodeMcastHeader(src, mtu, id, dests); !bytes.Equal(re, data) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data, re)
+		}
+		if len(data) <= 256 {
+			for i := range data {
+				data[i] ^= 0xFF
+				if _, _, _, _, stillOK := decodeMcastHeader(data); stillOK {
+					t.Fatalf("header still decodes with byte %d flipped", i)
+				}
+				data[i] ^= 0xFF
+			}
+		}
+	})
+}
+
 func FuzzRelData(f *testing.F) {
 	for _, seed := range relDataSeeds() {
 		f.Add(seed)
@@ -239,6 +279,18 @@ func stripeHeaderSeeds() [][]byte {
 	}
 }
 
+func mcastHeaderSeeds() [][]byte {
+	return [][]byte{
+		encodeMcastHeader(0, 4096, 1, []mad.Rank{1}),
+		encodeMcastHeader(3, 1, ^uint64(0), []mad.Rank{0, 2, 7}),
+		encodeMcastHeader(8, 1<<31-1, 42, []mad.Rank{1, 2, 3, 4, 5, 6, 7, 8}),
+		make([]byte, mcastHeaderLen(1)), // count 0 → rejected
+		make([]byte, mcastHeaderLen(1)-1),
+		make([]byte, mcastHeaderLen(2)),
+		{},
+	}
+}
+
 func relDataSeeds() [][]byte {
 	return [][]byte{
 		encodeRelData(0, 1, 1, 0, 3, 0, []byte("payload"), nil),
@@ -289,6 +341,7 @@ func TestRegenFuzzCorpus(t *testing.T) {
 		"FuzzGTMHeader":        gtmHeaderSeeds(),
 		"FuzzGTMCompactHeader": gtmCompactSeeds(),
 		"FuzzStripeHeader":     stripeHeaderSeeds(),
+		"FuzzMcastHeader":      mcastHeaderSeeds(),
 		"FuzzRelData":          relDataSeeds(),
 		"FuzzRelAck":           relAckSeeds(),
 		"FuzzRelDesc":          relDescSeeds(),

@@ -231,11 +231,12 @@ func (g *Gateway) start() {
 }
 
 // relayableKind reports whether a message kind is a self-described stream a
-// gateway can relay: plain GTM, a striped rail, or the compact eager and
-// aggregate framings.
+// gateway can relay: plain GTM, a striped rail, the compact eager and
+// aggregate framings, or a multicast stream (which the gateway replicates
+// rather than relays one-to-one).
 func relayableKind(k mad.Kind) bool {
 	switch k {
-	case mad.KindGTM, mad.KindStripe, mad.KindEager, mad.KindAgg:
+	case mad.KindGTM, mad.KindStripe, mad.KindEager, mad.KindAgg, mad.KindMcast:
 		return true
 	}
 	return false
@@ -409,6 +410,9 @@ func (vc *VirtualChannel) GatewayOK(name string) (*Gateway, bool) {
 func (g *Gateway) forward(p *vtime.Proc, a *mad.Arrival) int64 {
 	if k := a.Kind(); k == mad.KindEager || k == mad.KindAgg {
 		return g.forwardEager(p, a)
+	}
+	if a.Kind() == mad.KindMcast {
+		return g.forwardMcast(p, a)
 	}
 	vc := g.vc
 	in := a.Link

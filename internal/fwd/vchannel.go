@@ -173,6 +173,9 @@ type incoming struct {
 	ep  *mad.Endpoint
 	a   *mad.Arrival
 	rel *relMsg
+	// mcast is a multicast message a relaying gateway on this node captured
+	// for local delivery while replicating it (see mcast.go).
+	mcast *mcastLocal
 }
 
 // VirtualChannel is the user-facing communication object of §2.2.1:
@@ -222,6 +225,10 @@ type VirtualChannel struct {
 	// aggst is the cross-message aggregation state (see agg.go); nil
 	// unless Config.Aggregation is set.
 	aggst *aggState
+
+	// mcastst is the multicast state (see mcast.go): the per-(root,
+	// member-set) distribution-plan cache and the McastStats counters.
+	mcastst *mcastState
 }
 
 // netMTU returns the packet-size cap of one network under the PathMTU
@@ -355,6 +362,7 @@ func Build(sess *mad.Session, tp *topo.Topology, bindings map[string]Binding, cf
 
 		pathMTUs: make(map[[2]string]int),
 		nics:     make(map[string]hw.NICParams),
+		mcastst:  &mcastState{plans: make(map[string]*mcastPlan)},
 	}
 	for name, b := range bindings {
 		vc.nics[name] = b.Drv.NIC()
@@ -561,6 +569,7 @@ type Packing struct {
 	agg    *aggPacking
 	rel    *relPacking
 	stripe *stripePacking
+	mcast  *mcastPacking
 	id     uint64
 	ended  bool
 }
@@ -657,6 +666,10 @@ func (px *Packing) Pack(p *vtime.Proc, data []byte, s mad.SendMode, r mad.RecvMo
 		px.stripe.pack(p, data, s, r)
 		return
 	}
+	if px.mcast != nil {
+		px.mcast.pack(p, data, s, r)
+		return
+	}
 	if px.eager != nil {
 		px.eager.pack(p, data, s, r)
 		return
@@ -686,6 +699,10 @@ func (px *Packing) EndPacking(p *vtime.Proc) {
 		px.stripe.end(p)
 		return
 	}
+	if px.mcast != nil {
+		px.mcast.end(p)
+		return
+	}
 	if px.eager != nil {
 		px.eager.end(p)
 		return
@@ -701,6 +718,7 @@ type Unpacking struct {
 	agg    *aggUnpacking
 	rel    *relUnpacking
 	stripe *stripeUnpacking
+	mcast  *mcastUnpacking
 	from   mad.Rank
 	fwd    bool
 	ended  bool
@@ -735,6 +753,12 @@ func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
 		if !ok {
 			panic("fwd: merged arrival queue closed")
 		}
+		if in.mcast != nil {
+			// A multicast message the local gateway captured while
+			// replicating it downstream.
+			g := newMcastLocalUnpacking(e.vc, e.node, in.mcast)
+			return &Unpacking{mcast: g, from: g.from, fwd: true}
+		}
 		if in.rel != nil {
 			if in.rel.agg {
 				e.vc.aggDecodeReliable(p, e.node, in.rel)
@@ -767,6 +791,10 @@ func (e *Endpoint) BeginUnpacking(p *vtime.Proc) *Unpacking {
 		if in.a.Kind() == mad.KindEager {
 			g := newEagerUnpacking(p, e.vc, e.node, in.a)
 			return &Unpacking{eager: g, from: g.from, fwd: true}
+		}
+		if in.a.Kind() == mad.KindMcast {
+			g := newMcastUnpacking(p, e.vc, e.node, in.a)
+			return &Unpacking{mcast: g, from: g.from, fwd: true}
 		}
 		if in.a.Kind() == mad.KindGTM {
 			g := newGTMUnpacking(p, e.vc, e.node, in.a)
@@ -814,6 +842,10 @@ func (u *Unpacking) Unpack(p *vtime.Proc, dst []byte, s mad.SendMode, r mad.Recv
 		u.stripe.unpack(p, dst, s, r)
 		return
 	}
+	if u.mcast != nil {
+		u.mcast.unpack(p, dst, s, r)
+		return
+	}
 	if u.eager != nil {
 		u.eager.unpack(p, dst, s, r)
 		return
@@ -841,6 +873,10 @@ func (u *Unpacking) EndUnpacking(p *vtime.Proc) {
 	}
 	if u.stripe != nil {
 		u.stripe.end(p)
+		return
+	}
+	if u.mcast != nil {
+		u.mcast.end(p)
 		return
 	}
 	if u.eager != nil {

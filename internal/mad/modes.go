@@ -121,6 +121,13 @@ const (
 	// by gateways like any compact GTM message and unpacked back into
 	// individual messages at the final destination.
 	KindAgg
+	// KindMcast is a multicast GTM message: a self-described packet stream
+	// whose header carries a CRC-checked destination *set* instead of a
+	// single rank. Gateways on the distribution tree replicate each staged
+	// fragment onto several egress links, rewriting the header per branch
+	// with that branch's destination subset, so every network edge carries
+	// each fragment at most once.
+	KindMcast
 )
 
 func (k Kind) String() string {
@@ -143,6 +150,8 @@ func (k Kind) String() string {
 		return "eager"
 	case KindAgg:
 		return "agg"
+	case KindMcast:
+		return "mcast"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

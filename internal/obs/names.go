@@ -82,6 +82,18 @@ var CanonicalMetricNames = []string{
 	"madgo_stripe_rail_bytes_total",
 	"madgo_stripe_rail_rate_bytes_per_second",
 
+	// Gateway-native multicast (internal/fwd/mcast.go). Messages, branches
+	// and local deliveries labelled {node}; relays and replication counters
+	// labelled {gateway}. Replicated packets/bytes count *egress* transfers;
+	// the ingress side stays on the gateway_relayed counters, which is what
+	// keeps ingress load independent of the receiver count.
+	"madgo_mcast_messages_total",
+	"madgo_mcast_relays_total",
+	"madgo_mcast_branches_total",
+	"madgo_mcast_replicated_packets_total",
+	"madgo_mcast_replicated_bytes_total",
+	"madgo_mcast_local_deliveries_total",
+
 	// Link-health detector (internal/health, internal/fwd/health.go).
 	"madgo_health_probes_total",
 	"madgo_health_probe_failures_total",

@@ -39,6 +39,38 @@
 // fwd, ...); this package re-exports the pieces a user composes. In an
 // upstream open-source release the internal packages would be promoted;
 // they are documented to the same standard.
+//
+// # Options and their subsystems
+//
+// Every With* option arms or tunes exactly one subsystem:
+//
+//	WithMTU, WithAutoMTU                   fwd: generic transmission module fragment size
+//	WithPathMTU, WithNetworkMTU            fwd: per-path packet-size negotiation
+//	WithPipelineDepth                      fwd: gateway staging-buffer ring depth
+//	WithoutZeroCopy                        fwd: §2.3 gateway buffer election
+//	WithInflowLimit                        fwd: gateway ingress throttle
+//	WithEagerSmallMessages                 fwd/eager: compact one-transfer GTM framing
+//	WithAggregation, WithAggIdleFlush      fwd/agg: cross-message coalescer
+//	WithFlowControl, WithCreditWindow      fwd/flow: credit-based gateway flow control
+//	WithStriping, WithStripeThreshold      fwd/stripe: multi-rail striping
+//	WithReliableDelivery, WithRetryPolicy  fwd/reliable: acknowledged datagram delivery
+//	WithFaults                             fault: deterministic fault injection
+//	WithHealthMonitor, WithHealthConfig    health: link failure detector, epochal routes
+//	WithRouteNetworks                      route: restrict the channel to named networks
+//	WithTracer                             trace: gateway pipeline spans
+//	WithMetrics                            obs: counters, histograms, provenance
+//	WithoutFlightRecorder, WithFlightRingCap  flight: always-on event recorder
+//	WithPaperFidelity, WithProduction      presets bundling the above
+//
+// Options that tune a subsystem another option arms do not arm it
+// themselves: WithAggregation requires WithEagerSmallMessages, WithAggIdleFlush
+// requires WithAggregation, WithCreditWindow requires WithFlowControl, and
+// WithStripeThreshold requires WithStriping. NewSystem rejects an incoherent
+// set with a *ConfigError naming the missing option instead of silently
+// ignoring the orphan. (WithFaults, WithRetryPolicy, WithHealthMonitor and
+// WithNetworkMTU keep their documented implications — they imply reliable
+// delivery or WithPathMTU — because there the implied subsystem is the only
+// possible intent.)
 package madeleine
 
 import (
@@ -123,6 +155,11 @@ type (
 	// (sub-messages coalesced, frames flushed by trigger, bypasses)
 	// attached with WithAggregation.
 	AggStats = fwd.AggStats
+	// McastStats aggregates the gateway-native multicast counters
+	// (multicasts sent, gateway relays, tree branches, replicated
+	// packets/bytes, local deliveries, distribution-tree cache activity);
+	// see Endpoint.BeginMulticast and Comm.Broadcast.
+	McastStats = fwd.McastStats
 	// Metrics is a virtual-time-aware metrics registry: counters, gauges,
 	// latency histograms and per-message provenance traces, attached with
 	// WithMetrics.
@@ -322,7 +359,7 @@ type Options struct {
 	// contending ingress flows deficit-round-robin instead of FIFO.
 	FlowControl bool
 	// CreditWindow overrides the per-(gateway, sender) credit window
-	// (default fwd.DefaultCreditWindow). Non-zero implies FlowControl.
+	// (default fwd.DefaultCreditWindow). Requires FlowControl.
 	CreditWindow int
 	// Eager switches small messages to the compact GTM framing: the
 	// self-description header piggybacks on the first data fragment and
@@ -332,11 +369,12 @@ type Options struct {
 	// Aggregation arms the cross-message coalescer: consecutive sub-MTU
 	// messages bound for the same destination are packed into one
 	// MTU-sized aggregate frame that crosses the wire — and spends flow
-	// credit — as a single transfer.
+	// credit — as a single transfer. Requires Eager (the coalescer emits
+	// compact frames).
 	Aggregation bool
 	// AggIdleFlush is the coalescer's idle deadline; a partially filled
 	// frame is flushed once no new message has joined it for this long
-	// (0 = fwd.DefaultAggIdleFlush). Non-zero implies Aggregation.
+	// (0 = fwd.DefaultAggIdleFlush). Requires Aggregation.
 	AggIdleFlush Duration
 	// DisableFlight turns the always-on flight recorder off. The recorder
 	// costs well under 5% of goodput (a bounded ring write per event, no
@@ -425,7 +463,9 @@ func WithStriping(k int) Option { return func(o *Options) { o.StripeK = k } }
 // WithStripeThreshold sets the minimum message size, in bytes, that
 // WithStriping splits across rails (default 16 KB). Smaller messages finish
 // within one round trip on the fastest rail, so striping them only adds
-// header and reassembly overhead.
+// header and reassembly overhead. It tunes the striping layer without
+// arming it: combine with WithStriping(k >= 2), or NewSystem returns a
+// *ConfigError.
 func WithStripeThreshold(bytes int) Option {
 	return func(o *Options) { o.StripeThreshold = bytes }
 }
@@ -475,12 +515,11 @@ func WithFlightRingCap(n int) Option { return func(o *Options) { o.FlightRingCap
 func WithFlowControl() Option { return func(o *Options) { o.FlowControl = true } }
 
 // WithCreditWindow sets the per-(gateway, sender) credit window in wire
-// transfers (default fwd.DefaultCreditWindow) and implies WithFlowControl.
+// transfers (default fwd.DefaultCreditWindow). It tunes the flow controller
+// without arming it: combine with WithFlowControl, or NewSystem returns a
+// *ConfigError.
 func WithCreditWindow(n int) Option {
-	return func(o *Options) {
-		o.FlowControl = true
-		o.CreditWindow = n
-	}
+	return func(o *Options) { o.CreditWindow = n }
 }
 
 // WithEagerSmallMessages switches to the compact GTM framing that attacks
@@ -498,18 +537,18 @@ func WithEagerSmallMessages() Option { return func(o *Options) { o.Eager = true 
 // one flow credit, one ARQ sequence in reliable mode — and decoalesced at
 // the sink in sender order. Frames flush when full, when a larger message
 // must not overtake the queue, or after the idle deadline (see
-// WithAggIdleFlush). Query the counters with System.AggStats.
+// WithAggIdleFlush). The coalescer emits compact frames, so it requires
+// WithEagerSmallMessages; NewSystem returns a *ConfigError otherwise. Query
+// the counters with System.AggStats.
 func WithAggregation() Option { return func(o *Options) { o.Aggregation = true } }
 
 // WithAggIdleFlush sets the coalescer's idle deadline — the longest a
 // partially filled aggregate frame waits for company before it is flushed
-// (default fwd.DefaultAggIdleFlush) — and implies WithAggregation. It is
-// the latency bound a lone small message pays for the batching.
+// (default fwd.DefaultAggIdleFlush). It is the latency bound a lone small
+// message pays for the batching. It tunes the coalescer without arming it:
+// combine with WithAggregation, or NewSystem returns a *ConfigError.
 func WithAggIdleFlush(d Duration) Option {
-	return func(o *Options) {
-		o.Aggregation = true
-		o.AggIdleFlush = d
-	}
+	return func(o *Options) { o.AggIdleFlush = d }
 }
 
 // WithReliableDelivery switches the virtual channel from the paper's
@@ -519,6 +558,99 @@ func WithAggIdleFlush(d Duration) Option {
 // alternate gateways — or degrades to the control network when the channel
 // was restricted with WithRouteNetworks — when a node dies.
 func WithReliableDelivery() Option { return func(o *Options) { o.Reliable = true } }
+
+// WithPaperFidelity resets the system to the paper's §3 evaluation
+// configuration: 32 KB GTM packets, depth-2 double-buffered gateway
+// pipelines, the original three-transfer framing (header, data,
+// terminator), streaming delivery, and none of the post-paper subsystems
+// (no eager framing, aggregation, flow control, striping, reliability or
+// health monitoring). Apply it first and layer individual options after it
+// to deviate selectively.
+func WithPaperFidelity() Option {
+	return func(o *Options) {
+		o.MTU = 32 * 1024
+		o.PipelineDepth = 2
+		o.Eager = false
+		o.Aggregation = false
+		o.AggIdleFlush = 0
+		o.FlowControl = false
+		o.CreditWindow = 0
+		o.StripeK = 0
+		o.StripeThreshold = 0
+		o.Reliable = false
+		o.Health = nil
+		o.Retry = nil
+	}
+}
+
+// WithProduction arms every post-paper subsystem at its defaults: compact
+// eager framing with cross-message aggregation, credit-based gateway flow
+// control, two-rail striping, reliable (acknowledged, retransmitted)
+// delivery, and the link-health failure detector with epochal self-healing
+// routes. It is the "everything on" profile the load-pattern examples use;
+// layer individual options after it to tune windows, thresholds or
+// detector timing. Note that reliable delivery runs its own packet
+// protocol, so the streaming-only multicast fan-out is unavailable under
+// this preset — collectives fall back to binomial trees.
+func WithProduction() Option {
+	return func(o *Options) {
+		o.Eager = true
+		o.Aggregation = true
+		o.FlowControl = true
+		o.StripeK = 2
+		o.Reliable = true
+		hc := DefaultHealthConfig()
+		o.Health = &hc
+	}
+}
+
+// ConfigError reports an incoherent option set passed to NewSystem: an
+// option that only tunes a subsystem was given without the option that
+// arms it. Match with errors.As to recover the offending pair.
+type ConfigError struct {
+	Option   string // the orphaned option, e.g. "WithCreditWindow"
+	Requires string // the option it needs, e.g. "WithFlowControl"
+	Detail   string // what the orphaned option would have tuned
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("madeleine: %s requires %s — %s", e.Option, e.Requires, e.Detail)
+}
+
+// validate rejects option sets where a tuning option was given without the
+// subsystem it tunes; silently ignoring the orphan (or silently arming the
+// subsystem) would hide a configuration mistake.
+func (o *Options) validate() error {
+	if o.Aggregation && !o.Eager {
+		return &ConfigError{
+			Option:   "WithAggregation",
+			Requires: "WithEagerSmallMessages",
+			Detail:   "the cross-message coalescer emits compact eager frames",
+		}
+	}
+	if o.AggIdleFlush != 0 && !o.Aggregation {
+		return &ConfigError{
+			Option:   "WithAggIdleFlush",
+			Requires: "WithAggregation",
+			Detail:   "the idle deadline flushes aggregate frames that were never armed",
+		}
+	}
+	if o.CreditWindow != 0 && !o.FlowControl {
+		return &ConfigError{
+			Option:   "WithCreditWindow",
+			Requires: "WithFlowControl",
+			Detail:   "the credit window sizes a flow controller that was never armed",
+		}
+	}
+	if o.StripeThreshold != 0 && o.StripeK < 2 {
+		return &ConfigError{
+			Option:   "WithStripeThreshold",
+			Requires: "WithStriping",
+			Detail:   "the threshold gates a striping layer that was never armed",
+		}
+	}
+	return nil
+}
 
 // System is a running simulated cluster of clusters.
 type System struct {
@@ -545,6 +677,9 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 	o := Options{MTU: 32 * 1024, PipelineDepth: 2}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
 	}
 	vcTopo := tp
 	if len(o.RouteNetworks) > 0 {
@@ -616,11 +751,11 @@ func NewSystemFromTopology(tp *topo.Topology, opts ...Option) (*System, error) {
 		StripeK:         o.StripeK,
 		StripeThreshold: o.StripeThreshold,
 
-		FlowControl:  o.FlowControl || o.CreditWindow > 0,
+		FlowControl:  o.FlowControl,
 		CreditWindow: o.CreditWindow,
 
 		Eager:        o.Eager,
-		Aggregation:  o.Aggregation || o.AggIdleFlush > 0,
+		Aggregation:  o.Aggregation,
 		AggIdleFlush: o.AggIdleFlush,
 	}
 	if reliable {
@@ -684,48 +819,94 @@ func (s *System) Gateways() []string { return s.Channel.Gateways() }
 // Retransmits and Failovers are always zero outside reliable mode and on
 // fault-free reliable runs.
 type GatewayStats struct {
-	Messages    int64 // messages relayed
-	Packets     int64 // packets relayed
-	Bytes       int64 // payload bytes relayed
-	Stalls      int64 // receive-thread waits for a free staging buffer
-	Retransmits int64 // per-hop packet retransmissions performed
-	Failovers   int64 // times a neighbour was presumed dead and rerouted around
+	Messages    int64 `json:"messages"`    // messages relayed
+	Packets     int64 `json:"packets"`     // packets relayed
+	Bytes       int64 `json:"bytes"`       // payload bytes relayed
+	Stalls      int64 `json:"stalls"`      // receive-thread waits for a free staging buffer
+	Retransmits int64 `json:"retransmits"` // per-hop packet retransmissions performed
+	Failovers   int64 `json:"failovers"`   // times a neighbour was presumed dead and rerouted around
+}
+
+// NamedGatewayStats is one gateway's entry in Stats, keyed by node name.
+type NamedGatewayStats struct {
+	Name string `json:"name"`
+	GatewayStats
+}
+
+// Stats is the one-call snapshot of every subsystem's counters. Subsystems
+// that were never armed report zero values: Delivery, Ack, the recovery
+// fields of each gateway (reliable mode), Stripe (WithStriping), Flow
+// (WithFlowControl), Agg (WithAggregation), Mcast (multicast fan-out on a
+// streaming channel). Gateways is sorted by node name. The per-subsystem
+// getters (DeliveryStats, FlowStats, ...) are views over this snapshot.
+type Stats struct {
+	Delivery DeliveryStats       `json:"delivery"`
+	Stripe   StripeStats         `json:"stripe"`
+	Ack      AckStats            `json:"ack"`
+	Flow     FlowStats           `json:"flow"`
+	Agg      AggStats            `json:"agg"`
+	Mcast    McastStats          `json:"mcast"`
+	Gateways []NamedGatewayStats `json:"gateways"`
+}
+
+// Stats snapshots every subsystem's counters at once.
+func (s *System) Stats() Stats {
+	names := s.Channel.Gateways()
+	sort.Strings(names)
+	gws := make([]NamedGatewayStats, 0, len(names))
+	for _, name := range names {
+		g, ok := s.Channel.GatewayOK(name)
+		if !ok {
+			continue
+		}
+		gws = append(gws, NamedGatewayStats{Name: name, GatewayStats: GatewayStats{
+			Messages:    g.Messages(),
+			Packets:     g.Packets(),
+			Bytes:       g.Bytes(),
+			Stalls:      g.Stalls(),
+			Retransmits: g.Retransmits(),
+			Failovers:   g.Failovers(),
+		}})
+	}
+	return Stats{
+		Delivery: s.Channel.DeliveryStats(),
+		Stripe:   s.Channel.StripeStats(),
+		Ack:      s.Channel.AckStats(),
+		Flow:     s.Channel.FlowStats(),
+		Agg:      s.Channel.AggStats(),
+		Mcast:    s.Channel.McastStats(),
+		Gateways: gws,
+	}
 }
 
 // GatewayStats returns the relay statistics of the named gateway, with
 // ok=false when the node runs no forwarding engine.
 func (s *System) GatewayStats(name string) (GatewayStats, bool) {
-	g, ok := s.Channel.GatewayOK(name)
-	if !ok {
-		return GatewayStats{}, false
+	for _, g := range s.Stats().Gateways {
+		if g.Name == name {
+			return g.GatewayStats, true
+		}
 	}
-	return GatewayStats{
-		Messages:    g.Messages(),
-		Packets:     g.Packets(),
-		Bytes:       g.Bytes(),
-		Stalls:      g.Stalls(),
-		Retransmits: g.Retransmits(),
-		Failovers:   g.Failovers(),
-	}, true
+	return GatewayStats{}, false
 }
 
 // DeliveryStats aggregates the reliable mode's recovery work over every
 // node. All fields are zero in streaming mode and on fault-free reliable
 // runs.
-func (s *System) DeliveryStats() DeliveryStats { return s.Channel.DeliveryStats() }
+func (s *System) DeliveryStats() DeliveryStats { return s.Stats().Delivery }
 
 // StripeStats returns the multi-rail striping counters. All fields are
 // zero-valued when striping is off (no WithStriping, or k < 2).
-func (s *System) StripeStats() StripeStats { return s.Channel.StripeStats() }
+func (s *System) StripeStats() StripeStats { return s.Stats().Stripe }
 
 // AckStats returns the reliable mode's acknowledgement-traffic counters,
 // summed over every node. All fields are zero in streaming mode.
-func (s *System) AckStats() AckStats { return s.Channel.AckStats() }
+func (s *System) AckStats() AckStats { return s.Stats().Ack }
 
 // FlowStats returns the credit-based flow-control counters, aggregated over
 // every credit account and gateway scheduler. All fields are zero without
 // WithFlowControl.
-func (s *System) FlowStats() FlowStats { return s.Channel.FlowStats() }
+func (s *System) FlowStats() FlowStats { return s.Stats().Flow }
 
 // FlowAccounts returns the per-(gateway, sender) credit-account counters in
 // account creation order. Empty without WithFlowControl.
@@ -733,7 +914,11 @@ func (s *System) FlowAccounts() []FlowAccountStats { return s.Channel.FlowAccoun
 
 // AggStats returns the small-message coalescing counters. All fields are
 // zero without WithAggregation.
-func (s *System) AggStats() AggStats { return s.Channel.AggStats() }
+func (s *System) AggStats() AggStats { return s.Stats().Agg }
+
+// McastStats returns the gateway-native multicast counters. All fields are
+// zero until a BeginMulticast (or a collective riding on it) runs.
+func (s *System) McastStats() McastStats { return s.Stats().Mcast }
 
 // Health returns the link-health failure detector, or nil when the system
 // was built without WithHealthMonitor. Snapshot lists per-link condition,

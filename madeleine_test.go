@@ -159,14 +159,14 @@ func TestDeadlockSurfacesAsError(t *testing.T) {
 
 func TestExperimentsExposed(t *testing.T) {
 	exps := madeleine.Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("experiments = %d, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("experiments = %d, want 24", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"fig6", "fig7", "t1", "headline", "o1", "o2", "p1", "r1", "r2", "s1", "c1", "m1"} {
+	for _, want := range []string{"fig6", "fig7", "t1", "headline", "o1", "o2", "p1", "r1", "r2", "s1", "c1", "m1", "b1"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
